@@ -1,0 +1,204 @@
+//! Small reusable QSM collectives.
+//!
+//! The paper's algorithms hand-roll their communication to keep phase
+//! counts explicit; these helpers package the recurring idioms for
+//! examples and applications built on the library. Each collective is
+//! split into an *issue* half (queue the traffic) and a *read* half
+//! (extract the result after the caller's `sync()`), so the caller
+//! stays in control of phase structure.
+
+use qsm_core::{Ctx, Layout, SharedArray, Word};
+
+/// Register the `p × p` exchange board used by the gather/all-gather
+/// collectives. Must be completed by a `sync()` before first use.
+pub fn register_board<T: Word>(ctx: &mut Ctx, name: &str) -> SharedArray<T> {
+    let p = ctx.nprocs();
+    ctx.register::<T>(name, p * p, Layout::Block)
+}
+
+/// Issue half of an all-gather: contribute `value` so that, after the
+/// next `sync()`, every processor can read all `p` contributions from
+/// its own row of `board`.
+pub fn all_gather_issue<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>, value: T) {
+    let p = ctx.nprocs();
+    let me = ctx.proc_id();
+    for j in 0..p {
+        if j == me {
+            ctx.local_write(board, me * p + me, &[value]);
+        } else {
+            ctx.put(board, j * p + me, &[value]);
+        }
+    }
+}
+
+/// Read half of an all-gather: all `p` contributions, in processor
+/// order. Call after the `sync()` that followed
+/// [`all_gather_issue`].
+pub fn all_gather_read<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>) -> Vec<T> {
+    let p = ctx.nprocs();
+    let me = ctx.proc_id();
+    ctx.local_read(board, me * p, p)
+}
+
+/// Issue half of a broadcast from `root`: only the root contributes.
+pub fn broadcast_issue<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>, root: usize, value: T) {
+    let p = ctx.nprocs();
+    let me = ctx.proc_id();
+    if me != root {
+        return;
+    }
+    for j in 0..p {
+        if j == me {
+            ctx.local_write(board, me * p + root, &[value]);
+        } else {
+            ctx.put(board, j * p + root, &[value]);
+        }
+    }
+}
+
+/// Read half of a broadcast from `root`.
+pub fn broadcast_read<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>, root: usize) -> T {
+    let p = ctx.nprocs();
+    let me = ctx.proc_id();
+    ctx.local_read(board, me * p + root, 1)[0]
+}
+
+/// Exclusive prefix over all-gathered `u64` contributions: the sum of
+/// the values contributed by processors `0..me`. Call after the
+/// `sync()` following [`all_gather_issue`].
+pub fn exclusive_prefix(ctx: &mut Ctx, board: &SharedArray<u64>) -> u64 {
+    let me = ctx.proc_id();
+    let row = all_gather_read(ctx, board);
+    row[..me].iter().sum()
+}
+
+/// Read half of an all-reduce: fold every processor's contribution
+/// with `f`. Call after the `sync()` following [`all_gather_issue`];
+/// every processor obtains the same result (one phase, `p-1` remote
+/// words per processor — the QSM flat-tree reduction, optimal for
+/// `p ≤ sqrt(n)`).
+pub fn all_reduce_read<T: Word>(
+    ctx: &mut Ctx,
+    board: &SharedArray<T>,
+    init: T,
+    f: impl Fn(T, T) -> T,
+) -> T {
+    all_gather_read(ctx, board).into_iter().fold(init, f)
+}
+
+/// Issue half of a gather to `root`: contribute `value`; only the
+/// root will read it.
+pub fn gather_issue<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>, root: usize, value: T) {
+    let p = ctx.nprocs();
+    let me = ctx.proc_id();
+    if me == root {
+        ctx.local_write(board, root * p + me, &[value]);
+    } else {
+        ctx.put(board, root * p + me, &[value]);
+    }
+}
+
+/// Read half of a gather: the root obtains all `p` contributions in
+/// processor order; other processors get `None`.
+pub fn gather_read<T: Word>(ctx: &mut Ctx, board: &SharedArray<T>, root: usize) -> Option<Vec<T>> {
+    if ctx.proc_id() == root {
+        Some(all_gather_read(ctx, board))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsm_core::SimMachine;
+    use qsm_simnet::MachineConfig;
+
+    fn machine(p: usize) -> SimMachine {
+        SimMachine::new(MachineConfig::paper_default(p))
+    }
+
+    #[test]
+    fn all_gather_collects_every_contribution() {
+        let run = machine(4).run(|ctx| {
+            let board = register_board::<u64>(ctx, "board");
+            ctx.sync();
+            all_gather_issue(ctx, &board, 100 + ctx.proc_id() as u64);
+            ctx.sync();
+            all_gather_read(ctx, &board)
+        });
+        for out in run.outputs {
+            assert_eq!(out, vec![100, 101, 102, 103]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let run = machine(5).run(|ctx| {
+            let board = register_board::<u32>(ctx, "bc");
+            ctx.sync();
+            broadcast_issue(ctx, &board, 2, 777);
+            ctx.sync();
+            broadcast_read(ctx, &board, 2)
+        });
+        assert_eq!(run.outputs, vec![777; 5]);
+    }
+
+    #[test]
+    fn exclusive_prefix_sums_predecessors() {
+        let run = machine(4).run(|ctx| {
+            let board = register_board::<u64>(ctx, "px");
+            ctx.sync();
+            all_gather_issue(ctx, &board, 10);
+            ctx.sync();
+            exclusive_prefix(ctx, &board)
+        });
+        assert_eq!(run.outputs, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn all_reduce_folds_all_contributions() {
+        let run = machine(6).run(|ctx| {
+            let board = register_board::<u64>(ctx, "ar");
+            ctx.sync();
+            all_gather_issue(ctx, &board, (ctx.proc_id() + 1) as u64);
+            ctx.sync();
+            (
+                all_reduce_read(ctx, &board, 0u64, |a, b| a + b),
+                all_reduce_read(ctx, &board, u64::MIN, |a, b| a.max(b)),
+            )
+        });
+        for out in run.outputs {
+            assert_eq!(out, (21, 6)); // 1+..+6, max
+        }
+    }
+
+    #[test]
+    fn gather_delivers_only_to_root() {
+        let run = machine(4).run(|ctx| {
+            let board = register_board::<u32>(ctx, "g");
+            ctx.sync();
+            gather_issue(ctx, &board, 2, ctx.proc_id() as u32 * 11);
+            ctx.sync();
+            gather_read(ctx, &board, 2)
+        });
+        assert_eq!(run.outputs[2], Some(vec![0, 11, 22, 33]));
+        for (i, out) in run.outputs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*out, None);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_work_on_one_processor() {
+        let run = machine(1).run(|ctx| {
+            let board = register_board::<u64>(ctx, "solo");
+            ctx.sync();
+            all_gather_issue(ctx, &board, 9);
+            ctx.sync();
+            (all_gather_read(ctx, &board), exclusive_prefix(ctx, &board))
+        });
+        assert_eq!(run.outputs[0], (vec![9], 0));
+    }
+}

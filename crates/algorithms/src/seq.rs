@@ -1,0 +1,140 @@
+//! Sequential baselines.
+//!
+//! These serve two roles: correctness oracles for the parallel
+//! algorithms (the integration tests demand bit-identical results)
+//! and the single-processor baselines for speedup reporting.
+
+use crate::gen::NIL;
+
+/// Inclusive prefix sums.
+pub fn prefix_sums(input: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+/// Sorted copy (the oracle for sample sort).
+pub fn sorted(input: &[u32]) -> Vec<u32> {
+    let mut v = input.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// List ranks as distance-to-tail: `rank[tail] = 0`, and
+/// `rank[e] = rank[succ[e]] + 1`.
+///
+/// `succ` uses [`NIL`] for the tail. Panics if the structure is not a
+/// single chain covering all elements.
+pub fn list_ranks(succ: &[u64], head: usize) -> Vec<u64> {
+    let n = succ.len();
+    let mut order = Vec::with_capacity(n);
+    let mut cur = head;
+    loop {
+        order.push(cur);
+        if succ[cur] == NIL {
+            break;
+        }
+        cur = succ[cur] as usize;
+        assert!(order.len() <= n, "cycle in list");
+    }
+    assert_eq!(order.len(), n, "list does not cover all elements");
+    let mut ranks = vec![0u64; n];
+    for (dist_from_head, &e) in order.iter().enumerate() {
+        ranks[e] = (n - 1 - dist_from_head) as u64;
+    }
+    ranks
+}
+
+/// Sequential list ranking by pointer chasing with per-edge weights:
+/// `rank[e] = rank[succ[e]] + weight[e]`, `rank[tail] = 0`.
+///
+/// This is the routine processor 0 runs on the contracted list in the
+/// parallel algorithm's middle step.
+pub fn weighted_list_ranks(succ: &[u64], weight: &[u64], head: usize) -> Vec<u64> {
+    let n = succ.len();
+    assert_eq!(weight.len(), n);
+    let mut order = Vec::with_capacity(n);
+    let mut cur = head;
+    loop {
+        order.push(cur);
+        if succ[cur] == NIL {
+            break;
+        }
+        cur = succ[cur] as usize;
+        assert!(order.len() <= n, "cycle in list");
+    }
+    assert_eq!(order.len(), n, "list does not cover all elements");
+    let mut ranks = vec![0u64; n];
+    for &e in order.iter().rev() {
+        ranks[e] = if succ[e] == NIL { 0 } else { weight[e] + ranks[succ[e] as usize] };
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_list;
+
+    #[test]
+    fn prefix_sums_basic() {
+        assert_eq!(prefix_sums(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(prefix_sums(&[]), Vec::<u64>::new());
+        assert_eq!(prefix_sums(&[7]), vec![7]);
+    }
+
+    #[test]
+    fn sorted_matches_std() {
+        let v = vec![5u32, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(sorted(&v), vec![1, 1, 2, 4, 5, 5, 6, 9]);
+    }
+
+    #[test]
+    fn list_ranks_on_identity_chain() {
+        // 0 -> 1 -> 2 -> 3
+        let succ = vec![1, 2, 3, NIL];
+        let ranks = list_ranks(&succ, 0);
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn list_ranks_on_random_list() {
+        let (succ, _pred, head) = random_list(100, 5);
+        let ranks = list_ranks(&succ, head);
+        assert_eq!(ranks[head], 99);
+        let tail = succ.iter().position(|&s| s == NIL).unwrap();
+        assert_eq!(ranks[tail], 0);
+        let mut sorted_ranks = ranks.clone();
+        sorted_ranks.sort_unstable();
+        assert_eq!(sorted_ranks, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn weighted_ranks_generalize_unit_weights() {
+        let (succ, _pred, head) = random_list(64, 11);
+        let unit = vec![1u64; 64];
+        assert_eq!(weighted_list_ranks(&succ, &unit, head), list_ranks(&succ, head));
+    }
+
+    #[test]
+    fn weighted_ranks_accumulate_weights() {
+        // 2 -> 0 -> 1 with edge weights [5, 7, 3]:
+        // rank[1] = 0, rank[0] = w[0] + rank[1] = 5,
+        // rank[2] = w[2] + rank[0] = 8.
+        let succ = vec![1, NIL, 0];
+        let weight = vec![5, 7, 3];
+        let ranks = weighted_list_ranks(&succ, &weight, 2);
+        assert_eq!(ranks, vec![5, 0, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let succ = vec![1, 0];
+        let _ = list_ranks(&succ, 0);
+    }
+}

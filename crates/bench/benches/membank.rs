@@ -1,0 +1,36 @@
+//! Criterion benches of the memory-bank study: the bank-queue
+//! simulator's host-side throughput and the native (real atomics)
+//! microbenchmark across patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qsm_membank::{machine, run_native, simulate, Pattern};
+
+fn bench_bank_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membank_sim");
+    let accesses = 10_000;
+    g.throughput(Throughput::Elements(accesses as u64));
+    for m in [machine::smp_native(), machine::cray_t3e()] {
+        for pat in Pattern::all() {
+            g.bench_function(BenchmarkId::new(m.name, pat.label()), |b| {
+                b.iter(|| simulate(std::hint::black_box(&m), pat, accesses, 7))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_native_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membank_native");
+    g.sample_size(10);
+    let accesses = 100_000;
+    g.throughput(Throughput::Elements(accesses as u64));
+    for pat in Pattern::all() {
+        g.bench_function(BenchmarkId::new("4threads_8banks", pat.label()), |b| {
+            b.iter(|| run_native(4, 8, pat, accesses))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bank_sim, bench_native_patterns);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the runtime design-choice ablations (exchange schedule,
+//! randomized layout).
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    qsm_bench::figures::ablations::run(&cfg).emit();
+}

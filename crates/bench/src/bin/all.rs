@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper in sequence.
+//! `QSM_FAST=1` for a quick smoke pass.
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    eprintln!("running all experiments with {cfg:?} ...");
+    qsm_bench::figures::table3::run(&cfg).emit();
+    qsm_bench::figures::fig1::run(&cfg).emit();
+    qsm_bench::figures::fig2::run(&cfg).emit();
+    qsm_bench::figures::fig3::run(&cfg).emit();
+    qsm_bench::figures::fig4::run(&cfg).emit();
+    qsm_bench::figures::fig5::run(&cfg).emit();
+    qsm_bench::figures::fig6::run(&cfg).emit();
+    qsm_bench::figures::fig7::run(&cfg).emit();
+    qsm_bench::figures::table4::run(&cfg).emit();
+    qsm_bench::figures::ablations::run(&cfg).emit();
+    qsm_bench::figures::ext_fabric::run(&cfg).emit();
+    qsm_bench::figures::ext_straggler::run(&cfg).emit();
+    qsm_bench::figures::ext_hotspot::run(&cfg).emit();
+}

@@ -1,0 +1,5 @@
+//! Runs the shared-fabric network-contention extension experiment.
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    qsm_bench::figures::ext_fabric::run(&cfg).emit();
+}

@@ -1,0 +1,5 @@
+//! Runs the hot-spot contention extension experiment (QSM vs s-QSM).
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    qsm_bench::figures::ext_hotspot::run(&cfg).emit();
+}

@@ -1,0 +1,5 @@
+//! Runs the heterogeneous-processors (straggler) extension experiment.
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    qsm_bench::figures::ext_straggler::run(&cfg).emit();
+}

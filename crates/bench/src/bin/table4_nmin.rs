@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 (see module docs for the expected shape).
+fn main() {
+    let cfg = qsm_bench::RunCfg::from_env();
+    qsm_bench::figures::table4::run(&cfg).emit();
+}

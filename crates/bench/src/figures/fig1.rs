@@ -1,0 +1,77 @@
+//! Figure 1: measured and predicted performance of prefix sums.
+//!
+//! Total and communication time as n grows, against the QSM
+//! prediction `g(p-1)` and the BSP prediction `g(p-1) + L`. The
+//! expected shape: communication is flat in n, both models
+//! underestimate it (overhead and latency dominate these tiny
+//! messages), QSM lowest — yet the absolute error stays small and
+//! the algorithm is efficient in practice.
+
+use qsm_algorithms::analysis::EffectiveParams;
+use qsm_algorithms::{gen, prefix};
+use qsm_core::SimMachine;
+use qsm_simnet::MachineConfig;
+
+use crate::output::{csv, table, us_at_400mhz};
+use crate::stats::{mean, rel_stddev_pct};
+use crate::{Report, RunCfg};
+
+/// Run the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let machine_cfg = MachineConfig::paper_default(cfg.p);
+    let params = EffectiveParams::measure(machine_cfg);
+    let pred = prefix::predict(&params);
+
+    let mut rows = Vec::new();
+    for (point, n) in cfg.sizes().into_iter().enumerate() {
+        let mut totals = Vec::new();
+        let mut comms = Vec::new();
+        for rep in 0..cfg.reps {
+            let seed = cfg.seed(point, rep);
+            let machine = SimMachine::new(machine_cfg).with_seed(seed);
+            let input = gen::random_u64s(n, seed ^ 0xDA7A);
+            let run = prefix::run_sim(&machine, &input);
+            totals.push(run.total());
+            comms.push(run.comm());
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", us_at_400mhz(mean(&totals))),
+            format!("{:.1}", us_at_400mhz(mean(&comms))),
+            format!("{:.1}", rel_stddev_pct(&comms)),
+            format!("{:.1}", us_at_400mhz(pred.qsm)),
+            format!("{:.1}", us_at_400mhz(pred.bsp)),
+        ]);
+    }
+
+    let headers = ["n", "total_us", "comm_us", "comm_sd_pct", "qsm_pred_us", "bsp_pred_us"];
+    Report {
+        id: "fig1",
+        title: "prefix sums: measured vs QSM/BSP predicted (p=16, 400MHz)",
+        text: table(&headers, &rows),
+        csv: csv(&headers, &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_holds() {
+        let rep = run(&RunCfg::fast());
+        let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
+        assert!(lines.len() >= 4);
+        let comm = |l: &str| l.split(',').nth(2).unwrap().parse::<f64>().unwrap();
+        let qsm = |l: &str| l.split(',').nth(4).unwrap().parse::<f64>().unwrap();
+        let bsp = |l: &str| l.split(',').nth(5).unwrap().parse::<f64>().unwrap();
+        // Flat in n (within 25%), and models underestimate.
+        let first = comm(lines[0]);
+        let last = comm(*lines.last().unwrap());
+        assert!((last / first - 1.0).abs() < 0.25, "comm not flat: {first} -> {last}");
+        for l in &lines {
+            assert!(qsm(l) < bsp(l));
+            assert!(bsp(l) < comm(l), "BSP should underestimate: {l}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 3: measured and predicted performance of list ranking.
+//!
+//! The irregular-communication stress case. Lines as in Figure 2;
+//! expected shape: prediction accuracy improves with n, the QSM
+//! estimate landing within ~15% of measured communication for
+//! n ≳ 60 000 (the BSP estimate slightly earlier).
+
+use qsm_algorithms::analysis::{relative_error, EffectiveParams};
+use qsm_algorithms::{gen, listrank};
+use qsm_core::SimMachine;
+use qsm_simnet::MachineConfig;
+
+use crate::output::{csv, table, us_at_400mhz};
+use crate::stats::mean;
+use crate::{Report, RunCfg};
+
+/// Run the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let machine_cfg = MachineConfig::paper_default(cfg.p);
+    let params = EffectiveParams::measure(machine_cfg);
+
+    let mut rows = Vec::new();
+    for (point, n) in cfg.sizes().into_iter().enumerate() {
+        let mut totals = Vec::new();
+        let mut comms = Vec::new();
+        let mut est_qsm = Vec::new();
+        let mut est_bsp = Vec::new();
+        for rep in 0..cfg.reps {
+            let seed = cfg.seed(point, rep);
+            let machine = SimMachine::new(machine_cfg).with_seed(seed);
+            let (succ, pred, _head) = gen::random_list(n, seed ^ 0xDA7A);
+            let r = listrank::run_sim(&machine, &succ, &pred);
+            totals.push(r.total());
+            comms.push(r.comm());
+            let est = listrank::predict_estimate(&r, &params);
+            est_qsm.push(est.qsm);
+            est_bsp.push(est.bsp);
+        }
+        let best = listrank::predict_best(n, &params);
+        let whp = listrank::predict_whp(n, &params);
+        let comm = mean(&comms);
+        let qsm_est = mean(&est_qsm);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}", us_at_400mhz(mean(&totals))),
+            format!("{:.1}", us_at_400mhz(comm)),
+            format!("{:.1}", us_at_400mhz(best.qsm)),
+            format!("{:.1}", us_at_400mhz(whp.qsm)),
+            format!("{:.1}", us_at_400mhz(qsm_est)),
+            format!("{:.1}", us_at_400mhz(mean(&est_bsp))),
+            format!("{:.1}", 100.0 * relative_error(comm, qsm_est)),
+        ]);
+    }
+
+    let headers = [
+        "n",
+        "total_us",
+        "comm_us",
+        "best_qsm_us",
+        "whp_qsm_us",
+        "qsm_est_us",
+        "bsp_est_us",
+        "qsm_est_err_pct",
+    ];
+    Report {
+        id: "fig3",
+        title: "list ranking: measured vs Best/WHP/QSM-est/BSP-est (p=16)",
+        text: table(&headers, &rows),
+        csv: csv(&headers, &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_holds() {
+        let rep = run(&RunCfg::fast());
+        let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
+        let col = |l: &str, i: usize| l.split(',').nth(i).unwrap().parse::<f64>().unwrap();
+        for l in &lines {
+            assert!(col(l, 3) < col(l, 4), "best !< whp: {l}");
+        }
+        // Estimate error shrinks as n grows.
+        let first_err = col(lines[0], 7);
+        let last_err = col(lines.last().unwrap(), 7);
+        assert!(last_err < first_err, "error should shrink: {first_err} -> {last_err}");
+        assert!(last_err < 40.0, "estimate error at top size: {last_err}");
+    }
+}

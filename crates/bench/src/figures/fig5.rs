@@ -1,0 +1,81 @@
+//! Figure 5: problem size needed for accuracy vs latency l.
+//!
+//! For each hardware latency, the smallest n at which the measured
+//! sample-sort communication falls inside the [Best-case, WHP-bound]
+//! band (operationally: at or below the WHP line, since measured
+//! always sits above Best). Expected shape: n_cross grows *linearly*
+//! in l — the paper's pipelining condition `(l/g)·π ≪ W/p` made
+//! empirical.
+
+use qsm_algorithms::analysis::EffectiveParams;
+use qsm_models::nmin::{linear_fit, r_squared};
+use qsm_simnet::MachineConfig;
+
+use crate::figures::{fig4, samplesort_crossover};
+use crate::output::{csv, table};
+use crate::{Report, RunCfg};
+
+/// Compute the crossover points for every latency. Returns
+/// `(l, Some(n_cross))` rows.
+pub fn crossovers(cfg: &RunCfg) -> Vec<(f64, Option<f64>)> {
+    fig4::latencies(cfg.fast)
+        .into_iter()
+        .map(|l| {
+            let machine_cfg = MachineConfig::paper_default(cfg.p).with_latency(l);
+            let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
+            (l, samplesort_crossover(machine_cfg, cfg, &params))
+        })
+        .collect()
+}
+
+/// Run the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let points = crossovers(cfg);
+    let mut rows = Vec::new();
+    let mut fit_pts = Vec::new();
+    for (l, cross) in &points {
+        match cross {
+            Some(n) => {
+                rows.push(vec![format!("{l:.0}"), format!("{n:.0}"), format!("{:.0}", n / cfg.p as f64)]);
+                fit_pts.push((*l, *n));
+            }
+            None => rows.push(vec![format!("{l:.0}"), "beyond sweep".into(), "-".into()]),
+        }
+    }
+    let mut text = table(&["latency_cyc", "n_cross", "n_cross_per_proc"], &rows);
+    if fit_pts.len() >= 2 {
+        let (slope, intercept) = linear_fit(&fit_pts);
+        let r2 = r_squared(&fit_pts, slope, intercept);
+        text.push_str(&format!(
+            "\nlinear fit: n_cross = {slope:.2}·l + {intercept:.0}   (R² = {r2:.3})\n"
+        ));
+    }
+    Report {
+        id: "fig5",
+        title: "problem size for measured comm to enter the [Best,WHP] band vs latency",
+        text,
+        csv: csv(&["latency_cyc", "n_cross", "n_cross_per_proc"], &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_grows_with_latency() {
+        let cfg = RunCfg::fast();
+        let pts = crossovers(&cfg);
+        let found: Vec<(f64, f64)> =
+            pts.iter().filter_map(|(l, c)| c.map(|n| (*l, n))).collect();
+        assert!(found.len() >= 2, "crossovers should exist in the sweep: {pts:?}");
+        // Monotone non-decreasing in l.
+        for w in found.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 * 0.9,
+                "crossover shrank with latency: {:?}",
+                found
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 7: remote memory access performance under the three access
+//! patterns on the Section 4 platforms.
+//!
+//! Expected shape (the paper's finding): NoConflict is modestly
+//! better than Random (0–68%), while Conflict is a factor of 2–4
+//! worse than NoConflict on hardware-limited paths — i.e. the
+//! randomized layout QSM assumes forgoes a little performance to
+//! avoid a catastrophic worst case. A native run on the host (padded
+//! atomics as banks) is appended as a real-hardware data point.
+
+use qsm_membank::{machine, run_native_all, simulate_all, Pattern};
+
+use crate::output::{csv, table};
+use crate::{Report, RunCfg};
+
+/// Run the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let accesses = if cfg.fast { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    for m in machine::figure7_machines() {
+        let results = simulate_all(&m, accesses, 0x1998);
+        let by = |p: Pattern| results.iter().find(|r| r.pattern == p).unwrap().avg_ns;
+        let noc = by(Pattern::NoConflict);
+        for r in &results {
+            rows.push(vec![
+                m.name.to_string(),
+                r.pattern.label().to_string(),
+                format!("{:.0}", r.avg_ns),
+                format!("{:.0}", r.avg_queue_ns),
+                format!("{:.2}", r.avg_ns / noc),
+            ]);
+        }
+    }
+
+    // Native host data point.
+    let threads = std::thread::available_parallelism().map(|c| c.get().min(8)).unwrap_or(4);
+    let native = run_native_all(threads, 8, if cfg.fast { 50_000 } else { 500_000 });
+    let noc = native.iter().find(|r| r.pattern == Pattern::NoConflict).unwrap().avg_ns;
+    for r in &native {
+        rows.push(vec![
+            format!("host ({threads} threads; native atomics)"),
+            r.pattern.label().to_string(),
+            format!("{:.1}", r.avg_ns),
+            "-".to_string(),
+            format!("{:.2}", r.avg_ns / noc),
+        ]);
+    }
+
+    let headers = ["platform", "pattern", "avg_ns", "queue_ns", "vs_noconflict"];
+    Report {
+        id: "fig7",
+        title: "memory-bank contention: Random/Conflict/NoConflict across platforms",
+        text: table(&headers, &rows),
+        csv: csv(&headers, &rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_platform_reports_three_patterns() {
+        let rep = run(&RunCfg::fast());
+        let lines = rep.csv.lines().skip(1).count();
+        // 5 simulated platforms + host, 3 patterns each.
+        assert_eq!(lines, 6 * 3);
+    }
+
+    #[test]
+    fn simulated_ratios_match_paper_band() {
+        let rep = run(&RunCfg::fast());
+        for line in rep.csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells[0].starts_with("host") {
+                continue; // real hardware is allowed to be noisy
+            }
+            let ratio: f64 = cells[4].parse().unwrap();
+            match cells[1] {
+                "NoConflict" => assert!((ratio - 1.0).abs() < 1e-9),
+                "Random" => assert!((1.0..=1.9).contains(&ratio), "{line}"),
+                "Conflict" => assert!((1.0..=8.0).contains(&ratio), "{line}"),
+                other => panic!("unexpected pattern {other}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module   | Paper artifact | Content |
+//! |----------|----------------|---------|
+//! | [`fig1`] | Figure 1 | prefix sums: measured vs QSM/BSP predictions |
+//! | [`fig2`] | Figure 2 | sample sort: measured vs Best/WHP/QSM-est/BSP-est |
+//! | [`fig3`] | Figure 3 | list ranking: measured vs Best/WHP/QSM-est/BSP-est |
+//! | [`fig4`] | Figure 4 | sample sort comm vs n as latency l varies |
+//! | [`fig5`] | Figure 5 | crossover problem size vs latency l |
+//! | [`fig6`] | Figure 6 | crossover problem size vs overhead o |
+//! | [`fig7`] | Figure 7 | memory-bank contention on four platforms |
+//! | [`table3`] | Table 3 | hardware vs observed network performance |
+//! | [`table4`] | Table 4 | n_min extrapolation across architectures |
+//! | [`ablations`] | (ours) | runtime design-choice ablations |
+//! | [`ext_fabric`] | (ours) | shared-fabric network-contention extension |
+//! | [`ext_straggler`] | (ours) | heterogeneous-processors extension |
+//! | [`ext_hotspot`] | (ours) | hot-spot contention: QSM κ vs s-QSM g·κ |
+
+pub mod ablations;
+pub mod ext_fabric;
+pub mod ext_hotspot;
+pub mod ext_straggler;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table3;
+pub mod table4;
+
+use qsm_algorithms::analysis::EffectiveParams;
+use qsm_algorithms::{gen, samplesort};
+use qsm_core::SimMachine;
+use qsm_simnet::MachineConfig;
+
+use crate::stats::{cross_interpolate, mean};
+use crate::RunCfg;
+
+/// Mean measured communication time of sample sort at size `n` over
+/// `reps` repetitions on `machine_cfg`.
+pub(crate) fn samplesort_comm(
+    machine_cfg: MachineConfig,
+    n: usize,
+    cfg: &RunCfg,
+    point: usize,
+) -> f64 {
+    let comms: Vec<f64> = (0..cfg.reps)
+        .map(|rep| {
+            let seed = cfg.seed(point, rep);
+            let machine = SimMachine::new(machine_cfg).with_seed(seed);
+            let input = gen::random_u32s(n, seed ^ 0xDA7A);
+            samplesort::run_sim(&machine, &input).comm()
+        })
+        .collect();
+    mean(&comms)
+}
+
+/// Find the problem size at which measured sample-sort communication
+/// first falls to (or below) the QSM WHP-bound line — the paper's
+/// Figure 5/6 crossover — by scanning the doubling grid and
+/// interpolating between the bracketing sizes. Returns `None` when
+/// the crossover lies beyond the sweep.
+pub(crate) fn samplesort_crossover(
+    machine_cfg: MachineConfig,
+    cfg: &RunCfg,
+    params: &EffectiveParams,
+) -> Option<f64> {
+    // Scan the sweep grid, then keep doubling past it (bounded) so
+    // slow networks still resolve a crossover instead of reporting
+    // "beyond sweep".
+    let mut sizes = cfg.sizes();
+    let hard_cap = 1usize << 23;
+    while *sizes.last().unwrap() < hard_cap {
+        let next = sizes.last().unwrap() * 2;
+        sizes.push(next);
+    }
+    let mut prev: Option<(f64, f64)> = None; // (n, measured - whp)
+    for (point, n) in sizes.into_iter().enumerate() {
+        let measured = samplesort_comm(machine_cfg, n, cfg, point);
+        let whp = samplesort::predict_whp(n, samplesort::DEFAULT_OVERSAMPLING, params).qsm;
+        let diff = measured - whp;
+        if diff <= 0.0 {
+            return Some(match prev {
+                Some((pn, pd)) => cross_interpolate(pn, pd, n as f64, diff),
+                None => n as f64,
+            });
+        }
+        prev = Some((n as f64, diff));
+    }
+    None
+}

@@ -1,0 +1,66 @@
+//! Tiny statistics helpers for repeated measurements.
+
+/// Mean of a sample. Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for singletons.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Relative standard deviation in percent (the paper reports its
+/// sample-sort runs stayed under 11%).
+pub fn rel_stddev_pct(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        100.0 * stddev(xs) / m
+    }
+}
+
+/// Linear interpolation of the x where a decreasing `f(x) - g(x)`
+/// difference crosses zero between two sampled points.
+pub fn cross_interpolate(x0: f64, d0: f64, x1: f64, d1: f64) -> f64 {
+    debug_assert!(d0 >= 0.0 && d1 <= 0.0, "need a sign change: {d0} {d1}");
+    if (d0 - d1).abs() < 1e-12 {
+        return x0;
+    }
+    x0 + (x1 - x0) * d0 / (d0 - d1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((stddev(&xs) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn singleton_has_zero_spread() {
+        assert_eq!(stddev(&[3.0]), 0.0);
+        assert_eq!(rel_stddev_pct(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn interpolation_finds_midpoint() {
+        // difference +10 at x=0, -10 at x=2 -> crossing at 1.
+        assert_eq!(cross_interpolate(0.0, 10.0, 2.0, -10.0), 1.0);
+    }
+
+    #[test]
+    fn interpolation_at_boundary() {
+        assert_eq!(cross_interpolate(4.0, 0.0, 8.0, -10.0), 4.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Global addressing and data layout.
+//!
+//! A shared array is a dense range of global indices `0..len`. A
+//! [`Layout`] maps each index to its *cost owner* — the processor
+//! whose memory module is charged for serving accesses to it:
+//!
+//! * [`Layout::Block`] — index `i` belongs to the processor holding
+//!   the `i`-th slot of an even block partition. Local accesses to
+//!   one's own block are free; this is the layout of the paper's
+//!   algorithm inputs ("distributed uniformly across the processors").
+//! * [`Layout::Hashed`] — index `i` belongs to
+//!   `hash(array, i) mod p`. This is the QSM implementation
+//!   contract's *randomized layout*: it destroys locality but spreads
+//!   contention evenly across memory modules.
+//!
+//! Physical storage is always block-partitioned; the layout is a cost
+//! attribute only (see DESIGN.md §2 for why this substitution is
+//! behaviour-preserving).
+
+/// Identifier of a registered shared array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// How an array's indices map to cost owners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Even contiguous blocks, one per processor.
+    Block,
+    /// Pseudo-random placement by multiplicative hashing.
+    Hashed,
+}
+
+/// Block partition: the global index range owned by `proc` in an
+/// array of `len` elements across `p` processors. The first
+/// `len mod p` processors receive one extra element.
+pub fn block_range(len: usize, p: usize, proc: usize) -> std::ops::Range<usize> {
+    assert!(proc < p);
+    let base = len / p;
+    let rem = len % p;
+    let start = proc * base + proc.min(rem);
+    let extent = base + usize::from(proc < rem);
+    start..(start + extent).min(len)
+}
+
+/// Inverse of [`block_range`]: which processor's block contains
+/// global index `idx`.
+pub fn block_owner(len: usize, p: usize, idx: usize) -> usize {
+    assert!(idx < len, "index {idx} out of bounds {len}");
+    let base = len / p;
+    let rem = len % p;
+    let boundary = rem * (base + 1);
+    if idx < boundary {
+        idx / (base + 1)
+    } else {
+        rem + (idx - boundary) / base.max(1)
+    }
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used for hashed
+/// layout; good avalanche, trivially reproducible.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Cost owner of `idx` in array `id` under `layout`.
+pub fn owner(layout: Layout, id: ArrayId, len: usize, p: usize, idx: usize) -> usize {
+    match layout {
+        Layout::Block => block_owner(len, p, idx),
+        Layout::Hashed => (mix64((id.0 as u64) << 40 | idx as u64) % p as u64) as usize,
+    }
+}
+
+/// Split the global range `start..start+len` into maximal runs with a
+/// single cost owner, in ascending index order. Block layouts yield
+/// at most `p` runs; hashed layouts typically yield per-element runs.
+pub fn split_by_owner(
+    layout: Layout,
+    id: ArrayId,
+    array_len: usize,
+    p: usize,
+    start: usize,
+    len: usize,
+) -> Vec<(usize, usize, usize)> {
+    assert!(start + len <= array_len, "range {start}+{len} exceeds array {array_len}");
+    let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+    match layout {
+        Layout::Block => {
+            let mut i = start;
+            while i < start + len {
+                let o = block_owner(array_len, p, i);
+                let block_end = block_range(array_len, p, o).end;
+                let run_end = (start + len).min(block_end);
+                runs.push((o, i, run_end - i));
+                i = run_end;
+            }
+        }
+        Layout::Hashed => {
+            let mut i = start;
+            while i < start + len {
+                let o = owner(layout, id, array_len, p, i);
+                let mut j = i + 1;
+                while j < start + len && owner(layout, id, array_len, p, j) == o {
+                    j += 1;
+                }
+                runs.push((o, i, j - i));
+                i = j;
+            }
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_tile_the_array() {
+        for (len, p) in [(16, 4), (17, 4), (3, 8), (100, 7), (0, 3), (1, 1)] {
+            let mut covered = 0;
+            for proc in 0..p {
+                let r = block_range(len, p, proc);
+                assert_eq!(r.start, covered, "gap before proc {proc} (len={len}, p={p})");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_procs() {
+        assert_eq!(block_range(10, 4, 0), 0..3);
+        assert_eq!(block_range(10, 4, 1), 3..6);
+        assert_eq!(block_range(10, 4, 2), 6..8);
+        assert_eq!(block_range(10, 4, 3), 8..10);
+    }
+
+    #[test]
+    fn block_owner_inverts_block_range() {
+        for (len, p) in [(16usize, 4usize), (17, 4), (100, 7), (5, 8), (1, 1)] {
+            for idx in 0..len {
+                let o = block_owner(len, p, idx);
+                assert!(block_range(len, p, o).contains(&idx), "len={len} p={p} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_owner_is_deterministic_and_spread() {
+        let id = ArrayId(3);
+        let p = 8;
+        let len = 8000;
+        let mut counts = vec![0usize; p];
+        for idx in 0..len {
+            let a = owner(Layout::Hashed, id, len, p, idx);
+            let b = owner(Layout::Hashed, id, len, p, idx);
+            assert_eq!(a, b);
+            counts[a] += 1;
+        }
+        let expect = len / p;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as f64) > 0.8 * expect as f64 && (*c as f64) < 1.2 * expect as f64,
+                "owner {i} got {c} of ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_arrays_hash_differently() {
+        let p = 16;
+        let same = (0..1000)
+            .filter(|&i| {
+                owner(Layout::Hashed, ArrayId(0), 1000, p, i)
+                    == owner(Layout::Hashed, ArrayId(1), 1000, p, i)
+            })
+            .count();
+        // Two independent placements agree ~1/p of the time.
+        assert!(same < 200, "placements too correlated: {same}/1000");
+    }
+
+    #[test]
+    fn split_block_produces_contiguous_owner_runs() {
+        let runs = split_by_owner(Layout::Block, ArrayId(0), 100, 7, 10, 50);
+        let total: usize = runs.iter().map(|r| r.2).sum();
+        assert_eq!(total, 50);
+        assert!(runs.len() <= 7);
+        let mut pos = 10;
+        for (o, s, l) in &runs {
+            assert_eq!(*s, pos);
+            for i in *s..*s + *l {
+                assert_eq!(block_owner(100, 7, i), *o);
+            }
+            pos += l;
+        }
+    }
+
+    #[test]
+    fn split_hashed_covers_range_exactly() {
+        let runs = split_by_owner(Layout::Hashed, ArrayId(9), 64, 4, 5, 20);
+        let total: usize = runs.iter().map(|r| r.2).sum();
+        assert_eq!(total, 20);
+        let mut pos = 5;
+        for (o, s, l) in &runs {
+            assert_eq!(*s, pos);
+            for i in *s..*s + *l {
+                assert_eq!(owner(Layout::Hashed, ArrayId(9), 64, 4, i), *o);
+            }
+            pos += l;
+        }
+    }
+
+    #[test]
+    fn empty_split_is_empty() {
+        assert!(split_by_owner(Layout::Block, ArrayId(0), 10, 2, 4, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_split_rejected() {
+        let _ = split_by_owner(Layout::Block, ArrayId(0), 10, 2, 8, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn block_owner_total(len in 1usize..10_000, p in 1usize..64, seed in 0usize..10_000) {
+            let idx = seed % len;
+            let o = block_owner(len, p, idx);
+            prop_assert!(o < p);
+            prop_assert!(block_range(len, p, o).contains(&idx));
+        }
+
+        #[test]
+        fn splits_partition_any_range(
+            len in 1usize..5_000,
+            p in 1usize..32,
+            a in 0usize..5_000,
+            b in 0usize..5_000,
+            hashed in proptest::bool::ANY,
+        ) {
+            let start = a % len;
+            let l = b % (len - start + 1);
+            let layout = if hashed { Layout::Hashed } else { Layout::Block };
+            let runs = split_by_owner(layout, ArrayId(7), len, p, start, l);
+            let total: usize = runs.iter().map(|r| r.2).sum();
+            prop_assert_eq!(total, l);
+            let mut pos = start;
+            for (o, s, rl) in runs {
+                prop_assert_eq!(s, pos);
+                prop_assert!(o < p);
+                prop_assert!(rl > 0);
+                pos += rl;
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The per-processor programming context.
+//!
+//! A [`Ctx`] is what a QSM program sees: its processor id, typed
+//! shared-array registration, `put`/`get` enqueueing, a local window
+//! into block-distributed arrays, explicit local-operation charging,
+//! and `sync()`. One `Ctx` lives on each worker thread; all
+//! communication with the machine's driver travels over channels, so
+//! the implementation contains no locks and no `unsafe`.
+//!
+//! ### Bulk-synchrony enforcement
+//!
+//! * A [`GetTicket`] issued in phase *k* can only be redeemed in a
+//!   phase strictly later than *k* ([`Ctx::take`] panics otherwise).
+//! * The driver checks that no shared location is both read and
+//!   written in the same phase and panics with a diagnostic if an
+//!   algorithm violates the rule (the QSM phase contract).
+//!
+//! ### Cost charging
+//!
+//! Shared-memory traffic is metered automatically. Local computation
+//! is charged explicitly through [`Ctx::charge`]: the paper's
+//! analyses count abstract "local operations", so the algorithm
+//! decides what constitutes one (typically: one loop iteration per
+//! element). Host-side work done to *implement* the simulation (e.g.
+//! copying a local window out and back) costs nothing unless charged.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::addr::{block_range, ArrayId, Layout};
+use crate::driver::{DriverReply, SyncPayload, WorkerMsg};
+use crate::ops::{GetOp, GetTicket, PutOp, QueuedOps};
+use crate::shmem::{ArrayInfo, LocalStore, Registration, SharedArray};
+use crate::word::Word;
+
+/// The per-processor execution context handed to QSM programs.
+pub struct Ctx {
+    proc: usize,
+    nprocs: usize,
+    phase: u64,
+    charged: u64,
+    next_array_id: u32,
+    next_ticket: u64,
+    store: LocalStore,
+    queued: QueuedOps,
+    pending_regs: Vec<Registration>,
+    pending_unregs: Vec<ArrayId>,
+    results: HashMap<u64, Vec<u64>>,
+    rng: SmallRng,
+    tx: Sender<WorkerMsg>,
+    rx: Receiver<DriverReply>,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        proc: usize,
+        nprocs: usize,
+        seed: u64,
+        tx: Sender<WorkerMsg>,
+        rx: Receiver<DriverReply>,
+    ) -> Self {
+        Self {
+            proc,
+            nprocs,
+            phase: 0,
+            charged: 0,
+            next_array_id: 0,
+            next_ticket: 0,
+            store: LocalStore::default(),
+            queued: QueuedOps::default(),
+            pending_regs: Vec::new(),
+            pending_unregs: Vec::new(),
+            results: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            tx,
+            rx,
+        }
+    }
+
+    /// This processor's id in `0..nprocs()`.
+    pub fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    /// Number of processors in the machine.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Index of the current phase (incremented by every [`Ctx::sync`]).
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Charge `ops` local operations to the current phase (the QSM
+    /// `m_op` term).
+    pub fn charge(&mut self, ops: u64) {
+        self.charged += ops;
+    }
+
+    /// A per-processor deterministic RNG (seeded from the machine
+    /// seed and the processor id).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Collectively register a shared array of `len` elements of `T`.
+    ///
+    /// Every processor must call `register` with identical arguments
+    /// in the same phase (the driver verifies this); the array
+    /// becomes usable **after the next [`Ctx::sync`]**, mirroring the
+    /// paper's "allocate and register, then barrier" idiom.
+    pub fn register<T: Word>(&mut self, name: &str, len: usize, layout: Layout) -> SharedArray<T> {
+        let id = ArrayId(self.next_array_id);
+        self.next_array_id += 1;
+        self.pending_regs.push(Registration {
+            name: name.to_string(),
+            len,
+            elem_bytes: T::BYTES,
+            layout,
+        });
+        SharedArray { id, len, layout, _elem: PhantomData }
+    }
+
+    /// Collectively unregister `arr`; storage is reclaimed at the
+    /// next [`Ctx::sync`]. Queuing further operations against the
+    /// handle afterwards panics.
+    pub fn unregister<T: Word>(&mut self, arr: SharedArray<T>) {
+        self.pending_unregs.push(arr.id);
+    }
+
+    /// Queue a write of `data` to the global range starting at
+    /// `start`. Visible to everyone after the next [`Ctx::sync`].
+    pub fn put<T: Word>(&mut self, arr: &SharedArray<T>, start: usize, data: &[T]) {
+        if data.is_empty() {
+            return;
+        }
+        let info = self.store.info(arr.id); // liveness check
+        assert!(
+            start + data.len() <= info.len,
+            "put of {}..{} exceeds array '{}' (len {})",
+            start,
+            start + data.len(),
+            info.name,
+            info.len
+        );
+        self.queued.puts.push(PutOp {
+            array: arr.id,
+            start,
+            data: data.iter().map(|v| v.to_raw()).collect(),
+        });
+    }
+
+    /// Queue a read of `len` elements starting at global index
+    /// `start`. The returned ticket is redeemable via [`Ctx::take`]
+    /// after the next [`Ctx::sync`].
+    pub fn get<T: Word>(&mut self, arr: &SharedArray<T>, start: usize, len: usize) -> GetTicket<T> {
+        let info = self.store.info(arr.id);
+        assert!(
+            start + len <= info.len,
+            "get of {}..{} exceeds array '{}' (len {})",
+            start,
+            start + len,
+            info.name,
+            info.len
+        );
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        if len > 0 {
+            self.queued.gets.push(GetOp { array: arr.id, start, len, ticket });
+        } else {
+            self.results.insert(ticket, Vec::new());
+        }
+        GetTicket { id: ticket, len, issued_phase: self.phase, _elem: PhantomData }
+    }
+
+    /// Redeem a get ticket. Panics if called in the phase that issued
+    /// the get — that is precisely the bulk-synchrony rule QSM
+    /// enforces ("values returned by shared-memory reads issued in a
+    /// phase cannot be used in the same phase").
+    pub fn take<T: Word>(&mut self, ticket: GetTicket<T>) -> Vec<T> {
+        assert!(
+            self.phase > ticket.issued_phase || ticket.len == 0,
+            "bulk-synchrony violation on processor {}: take() of a get issued in \
+             phase {} before any sync(); call sync() first",
+            self.proc,
+            ticket.issued_phase
+        );
+        let raw = self
+            .results
+            .remove(&ticket.id)
+            .expect("get result missing (ticket already taken?)");
+        debug_assert_eq!(raw.len(), ticket.len);
+        raw.into_iter().map(T::from_raw).collect()
+    }
+
+    /// The global index range of `arr` held in this processor's local
+    /// window (block layout only).
+    pub fn local_range<T: Word>(&self, arr: &SharedArray<T>) -> Range<usize> {
+        let info = self.store.info(arr.id);
+        assert_eq!(
+            info.layout,
+            Layout::Block,
+            "array '{}' is hash-distributed and has no local window",
+            info.name
+        );
+        block_range(info.len, self.nprocs, self.proc)
+    }
+
+    /// Read `len` elements starting at global index `start` from the
+    /// local window. Free of communication cost; sees values as of
+    /// the start of the phase plus this processor's own local writes.
+    pub fn local_read<T: Word>(&self, arr: &SharedArray<T>, start: usize, len: usize) -> Vec<T> {
+        let range = self.local_range(arr);
+        assert!(
+            start >= range.start && start + len <= range.end,
+            "local_read {}..{} outside local window {:?} of processor {}",
+            start,
+            start + len,
+            range,
+            self.proc
+        );
+        let seg = &self.store.segments[&arr.id];
+        seg[start - range.start..start - range.start + len]
+            .iter()
+            .map(|&r| T::from_raw(r))
+            .collect()
+    }
+
+    /// Copy the entire local window out.
+    pub fn local_vec<T: Word>(&self, arr: &SharedArray<T>) -> Vec<T> {
+        let range = self.local_range(arr);
+        self.local_read(arr, range.start, range.len())
+    }
+
+    /// Write `data` into the local window starting at global index
+    /// `start`. Free of communication cost.
+    pub fn local_write<T: Word>(&mut self, arr: &SharedArray<T>, start: usize, data: &[T]) {
+        let range = self.local_range(arr);
+        assert!(
+            start >= range.start && start + data.len() <= range.end,
+            "local_write {}..{} outside local window {:?} of processor {}",
+            start,
+            start + data.len(),
+            range,
+            self.proc
+        );
+        let seg = self.store.segments.get_mut(&arr.id).expect("segment missing");
+        for (i, v) in data.iter().enumerate() {
+            seg[start - range.start + i] = v.to_raw();
+        }
+    }
+
+    /// End the phase: exchange all queued operations, complete
+    /// pending registrations, and synchronize with every other
+    /// processor. Returns once the barrier releases this processor.
+    pub fn sync(&mut self) {
+        let regs = std::mem::take(&mut self.pending_regs);
+        let unregs = std::mem::take(&mut self.pending_unregs);
+        let payload = SyncPayload {
+            proc: self.proc,
+            charged: std::mem::take(&mut self.charged),
+            ops: self.queued.take(),
+            regs: regs.clone(),
+            unregs: unregs.clone(),
+            segments: std::mem::take(&mut self.store.segments),
+        };
+        self.tx.send(WorkerMsg::Sync(payload)).expect("driver hung up");
+        let reply = self.rx.recv().expect("driver hung up");
+        self.store.segments = reply.segments;
+        self.results.extend(reply.results);
+        // Mirror the driver's bookkeeping locally: ids were assigned
+        // in registration order starting from our own counter.
+        let first_new = self.next_array_id - regs.len() as u32;
+        for (k, reg) in regs.into_iter().enumerate() {
+            let id = ArrayId(first_new + k as u32);
+            self.store.infos.insert(
+                id,
+                ArrayInfo {
+                    id,
+                    name: reg.name,
+                    len: reg.len,
+                    elem_bytes: reg.elem_bytes,
+                    layout: reg.layout,
+                },
+            );
+        }
+        for id in unregs {
+            self.store.infos.remove(&id);
+        }
+        self.phase += 1;
+    }
+
+    /// Tear down: report this processor's final output to the driver.
+    pub(crate) fn finish(self) {
+        self.tx.send(WorkerMsg::Finished { proc: self.proc }).expect("driver hung up");
+    }
+}

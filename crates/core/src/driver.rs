@@ -1,0 +1,551 @@
+//! The machine driver: rendezvous point of every `sync()`.
+//!
+//! Worker threads run the user program; at each `sync()` they ship
+//! their queued operations *and their memory segments* to the driver,
+//! which then has exclusive ownership of the entire global memory. It
+//! validates collective calls, detects bulk-synchrony violations,
+//! serves gets (from the pre-put state), applies puts
+//! (deterministically: processor order, then issue order), meters the
+//! phase for the cost models, asks a [`SyncTimer`] how long the
+//! exchange took on the simulated (or real) machine, and hands the
+//! segments back. Ownership transfer through channels *is* the
+//! synchronization — the runtime contains no locks and no `unsafe`.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{Receiver, Sender};
+use qsm_models::PhaseProfile;
+use qsm_simnet::Cycles;
+
+use crate::addr::{split_by_owner, ArrayId, Layout};
+use crate::ops::QueuedOps;
+use crate::shmem::{ArrayInfo, Registration, Segment};
+
+/// Worker-to-driver messages.
+pub(crate) enum WorkerMsg {
+    /// A processor reached `sync()`.
+    Sync(SyncPayload),
+    /// A processor's program returned.
+    Finished {
+        /// Which processor (kept for diagnostics in panic paths).
+        #[allow(dead_code)]
+        proc: usize,
+    },
+    /// A processor's program panicked; the payload is re-raised on
+    /// the caller's thread so the original message survives.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Everything a processor ships at `sync()`.
+pub(crate) struct SyncPayload {
+    pub proc: usize,
+    pub charged: u64,
+    pub ops: QueuedOps,
+    pub regs: Vec<Registration>,
+    pub unregs: Vec<ArrayId>,
+    pub segments: HashMap<ArrayId, Segment>,
+}
+
+/// What the driver returns to each processor.
+pub(crate) struct DriverReply {
+    pub segments: HashMap<ArrayId, Segment>,
+    pub results: HashMap<u64, Vec<u64>>,
+}
+
+/// Aggregate traffic from one source processor to one cost owner in a
+/// single phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairTraffic {
+    /// Number of put items (maximal single-owner runs).
+    pub put_items: u64,
+    /// Put payload in 4-byte accounting words.
+    pub put_words: u64,
+    /// Put payload in wire bytes.
+    pub put_payload_bytes: u64,
+    /// Number of get items requested.
+    pub get_items: u64,
+    /// Get reply payload in 4-byte accounting words.
+    pub get_words: u64,
+    /// Get reply payload in wire bytes.
+    pub get_reply_payload_bytes: u64,
+}
+
+impl PairTraffic {
+    /// True when no traffic flows on this pair.
+    pub fn is_empty(&self) -> bool {
+        self.put_items == 0 && self.get_items == 0
+    }
+}
+
+/// The per-phase (source, cost-owner) traffic matrix.
+#[derive(Debug, Clone)]
+pub struct CommMatrix {
+    p: usize,
+    pairs: Vec<PairTraffic>,
+}
+
+impl CommMatrix {
+    /// An empty matrix for `p` processors.
+    pub fn new(p: usize) -> Self {
+        Self { p, pairs: vec![PairTraffic::default(); p * p] }
+    }
+
+    /// Processor count.
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// Traffic from `src` to owner `dst`.
+    pub fn at(&self, src: usize, dst: usize) -> &PairTraffic {
+        &self.pairs[src * self.p + dst]
+    }
+
+    /// Mutable traffic cell.
+    pub fn at_mut(&mut self, src: usize, dst: usize) -> &mut PairTraffic {
+        &mut self.pairs[src * self.p + dst]
+    }
+
+    /// True when the whole phase moved no data.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.iter().all(PairTraffic::is_empty)
+    }
+}
+
+/// Wall-clock/simulated timing of one phase, as produced by the
+/// machine's timing strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTiming {
+    /// Full phase duration (compute + communication).
+    pub elapsed: Cycles,
+    /// Slowest processor's local-compute duration.
+    pub compute: Cycles,
+    /// `elapsed - compute`: time attributable to `sync()`.
+    pub comm: Cycles,
+}
+
+/// One completed phase: model-facing profile plus measured timing and
+/// traffic totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRecord {
+    /// Per-phase maxima for the cost models.
+    pub profile: PhaseProfile,
+    /// Measured timing.
+    pub timing: PhaseTiming,
+    /// Total data messages in the exchange (excluding plan/barrier).
+    pub data_msgs: u64,
+    /// Total payload bytes moved (excluding headers).
+    pub payload_bytes: u64,
+}
+
+/// Strategy deciding how long a phase takes. The simulated machine
+/// implements this with the `qsm-simnet` network; the native thread
+/// machine implements it with wall-clock measurement.
+pub(crate) trait SyncTimer: Send {
+    /// `charged[i]` is processor `i`'s local-operation count for the
+    /// phase; `matrix` is the traffic it must exchange.
+    fn sync(&mut self, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming;
+}
+
+/// Per-array access ranges used for κ and conflict detection.
+#[derive(Default)]
+struct AccessRanges {
+    reads: Vec<(usize, usize)>,
+    writes: Vec<(usize, usize)>,
+}
+
+/// Sweep all access ranges of one array: returns the maximum queue
+/// depth κ at any single location, and panics on a read/write overlap
+/// when `check_conflicts` is set.
+fn sweep_kappa(name: &str, acc: &AccessRanges, check_conflicts: bool) -> u64 {
+    // Events: (position, end-before-start flag, d_read, d_write).
+    let mut events: Vec<(usize, bool, i64, i64)> = Vec::new();
+    for &(s, l) in &acc.reads {
+        events.push((s, false, 1, 0));
+        events.push((s + l, true, -1, 0));
+    }
+    for &(s, l) in &acc.writes {
+        events.push((s, false, 0, 1));
+        events.push((s + l, true, 0, -1));
+    }
+    events.sort_by_key(|&(pos, is_end, _, _)| (pos, !is_end));
+    let (mut r, mut w, mut kappa) = (0i64, 0i64, 0i64);
+    let mut i = 0;
+    while i < events.len() {
+        let pos = events[i].0;
+        let end_flag = events[i].1;
+        while i < events.len() && events[i].0 == pos && events[i].1 == end_flag {
+            r += events[i].2;
+            w += events[i].3;
+            i += 1;
+        }
+        if check_conflicts && r > 0 && w > 0 {
+            panic!(
+                "bulk-synchrony violation: location {pos} of array '{name}' is both \
+                 read and written in the same phase (the QSM phase contract forbids \
+                 this; split the accesses across a sync())"
+            );
+        }
+        kappa = kappa.max(r + w);
+    }
+    kappa as u64
+}
+
+/// The driver's persistent state across phases.
+pub(crate) struct Driver {
+    p: usize,
+    next_array_id: u32,
+    infos: HashMap<ArrayId, ArrayInfo>,
+    check_conflicts: bool,
+}
+
+impl Driver {
+    pub(crate) fn new(p: usize, check_conflicts: bool) -> Self {
+        Self { p, next_array_id: 0, infos: HashMap::new(), check_conflicts }
+    }
+
+    /// Run the driver loop until every worker reports `Finished`.
+    /// Returns the phase records in execution order, or the payload
+    /// of the first worker panic.
+    pub(crate) fn run(
+        mut self,
+        rx: &Receiver<WorkerMsg>,
+        txs: &[Sender<DriverReply>],
+        timer: &mut dyn SyncTimer,
+    ) -> Result<Vec<PhaseRecord>, Box<dyn std::any::Any + Send>> {
+        let mut records = Vec::new();
+        loop {
+            let mut syncs: Vec<Option<SyncPayload>> = (0..self.p).map(|_| None).collect();
+            let mut finished = 0usize;
+            for _ in 0..self.p {
+                match rx.recv().expect("worker hung up") {
+                    WorkerMsg::Sync(payload) => {
+                        let proc = payload.proc;
+                        assert!(
+                            syncs[proc].replace(payload).is_none(),
+                            "processor {proc} synced twice in one rendezvous"
+                        );
+                    }
+                    WorkerMsg::Finished { .. } => finished += 1,
+                    WorkerMsg::Panicked(payload) => return Err(payload),
+                }
+            }
+            if finished == self.p {
+                return Ok(records);
+            }
+            assert!(
+                finished == 0,
+                "collective violation: {} processor(s) returned while {} called sync()",
+                finished,
+                self.p - finished
+            );
+            let payloads: Vec<SyncPayload> = syncs.into_iter().map(Option::unwrap).collect();
+            let (replies, record) = self.process_sync(payloads, timer);
+            records.push(record);
+            for (tx, reply) in txs.iter().zip(replies) {
+                tx.send(reply).expect("worker hung up");
+            }
+        }
+    }
+
+    /// Join worker threads after a run, re-raising the first captured
+    /// panic (driver-detected worker panics take precedence so the
+    /// original message survives the thread boundary).
+    pub(crate) fn collect_outputs<R>(
+        handles: Vec<crossbeam::thread::ScopedJoinHandle<'_, Option<R>>>,
+        driver_result: Result<Vec<PhaseRecord>, Box<dyn std::any::Any + Send>>,
+    ) -> (Vec<R>, Vec<PhaseRecord>) {
+        match driver_result {
+            Ok(records) => {
+                let outputs = handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .expect("worker panicked after reporting success")
+                            .expect("worker produced no output")
+                    })
+                    .collect();
+                (outputs, records)
+            }
+            Err(payload) => {
+                // Drain the workers (they unwind once the reply
+                // channels drop), then re-raise the original panic.
+                for h in handles {
+                    let _ = h.join();
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    fn process_sync(
+        &mut self,
+        mut payloads: Vec<SyncPayload>,
+        timer: &mut dyn SyncTimer,
+    ) -> (Vec<DriverReply>, PhaseRecord) {
+        let p = self.p;
+
+        // --- Collective registration / unregistration validation ---
+        for i in 1..p {
+            assert!(
+                payloads[i].regs == payloads[0].regs,
+                "collective violation: processor {i} registered different arrays \
+                 than processor 0 in the same phase"
+            );
+            assert!(
+                payloads[i].unregs == payloads[0].unregs,
+                "collective violation: processor {i} unregistered different arrays \
+                 than processor 0 in the same phase"
+            );
+        }
+        let new_arrays: Vec<ArrayInfo> = payloads[0]
+            .regs
+            .iter()
+            .map(|reg| {
+                let id = ArrayId(self.next_array_id);
+                self.next_array_id += 1;
+                ArrayInfo {
+                    id,
+                    name: reg.name.clone(),
+                    len: reg.len,
+                    elem_bytes: reg.elem_bytes,
+                    layout: reg.layout,
+                }
+            })
+            .collect();
+        let unregs = payloads[0].unregs.clone();
+        for id in &unregs {
+            assert!(
+                self.infos.contains_key(id),
+                "unregister of unknown array {id:?} (double unregister?)"
+            );
+        }
+
+        // --- Assemble the global memory: mem[array][proc] ---
+        let mut mem: HashMap<ArrayId, Vec<Segment>> = HashMap::new();
+        for info in self.infos.values() {
+            mem.insert(info.id, (0..p).map(|_| Segment::new()).collect());
+        }
+        for payload in payloads.iter_mut() {
+            let proc = payload.proc;
+            for (id, seg) in payload.segments.drain() {
+                mem.get_mut(&id)
+                    .unwrap_or_else(|| panic!("segment for unknown array {id:?}"))[proc] = seg;
+            }
+        }
+
+        // --- Metering: comm matrix, per-proc counters, κ sweep ---
+        let mut matrix = CommMatrix::new(p);
+        let mut m_rw = vec![0u64; p];
+        let mut h_in_words = vec![0u64; p];
+        let mut h_out_words = vec![0u64; p];
+        let mut accesses: HashMap<ArrayId, AccessRanges> = HashMap::new();
+        for payload in &payloads {
+            let src = payload.proc;
+            for op in &payload.ops.puts {
+                let info = self.info_for_op(op.array, &new_arrays);
+                let wpe = info.words_per_elem();
+                accesses.entry(op.array).or_default().writes.push((op.start, op.data.len()));
+                for (owner, _s, l) in split_by_owner(
+                    info.layout,
+                    info.id,
+                    info.len,
+                    p,
+                    op.start,
+                    op.data.len(),
+                ) {
+                    let cell = matrix.at_mut(src, owner);
+                    // The library is word-granular, as in the paper:
+                    // every 4-byte word carries its own item header
+                    // and marshal/apply cost (this is why Table 3's
+                    // observed gap is an order of magnitude above the
+                    // hardware gap even for bulk transfers).
+                    cell.put_items += l as u64 * wpe;
+                    cell.put_words += l as u64 * wpe;
+                    cell.put_payload_bytes += l as u64 * info.elem_bytes;
+                }
+                m_rw[src] += op.data.len() as u64 * wpe;
+            }
+            for op in &payload.ops.gets {
+                let info = self.info_for_op(op.array, &new_arrays);
+                let wpe = info.words_per_elem();
+                accesses.entry(op.array).or_default().reads.push((op.start, op.len));
+                for (owner, _s, l) in
+                    split_by_owner(info.layout, info.id, info.len, p, op.start, op.len)
+                {
+                    let cell = matrix.at_mut(src, owner);
+                    cell.get_items += l as u64 * wpe; // word-granular, see above
+                    cell.get_words += l as u64 * wpe;
+                    cell.get_reply_payload_bytes += l as u64 * info.elem_bytes;
+                }
+                m_rw[src] += op.len as u64 * wpe;
+            }
+        }
+        let mut kappa = 0u64;
+        for (id, acc) in &accesses {
+            let info = self.info_for_op(*id, &new_arrays);
+            kappa = kappa.max(sweep_kappa(&info.name, acc, self.check_conflicts));
+        }
+
+        // h and message counts from the matrix.
+        let mut data_msgs_by = vec![0u64; p];
+        let mut data_msgs = 0u64;
+        let mut payload_bytes = 0u64;
+        for src in 0..p {
+            for dst in 0..p {
+                let c = *matrix.at(src, dst);
+                if c.put_items > 0 {
+                    data_msgs_by[src] += 1;
+                    data_msgs += 1;
+                }
+                if c.get_items > 0 {
+                    // Request from src, reply from dst.
+                    data_msgs_by[src] += 1;
+                    data_msgs_by[dst] += 1;
+                    data_msgs += 2;
+                }
+                h_out_words[src] += c.put_words + c.get_items; // request ≈ 1 word/item
+                h_in_words[dst] += c.put_words + c.get_items;
+                h_out_words[dst] += c.get_words;
+                h_in_words[src] += c.get_words;
+                payload_bytes += c.put_payload_bytes + c.get_reply_payload_bytes;
+            }
+        }
+
+        // --- Serve gets from the PRE-put state ---
+        let mut replies: Vec<DriverReply> = (0..p)
+            .map(|_| DriverReply { segments: HashMap::new(), results: HashMap::new() })
+            .collect();
+        for payload in &payloads {
+            for op in &payload.ops.gets {
+                let info = self.info_for_op(op.array, &new_arrays);
+                let segs = mem
+                    .get(&op.array)
+                    .unwrap_or_else(|| panic!("get from array '{}' before registration sync", info.name));
+                let mut out = Vec::with_capacity(op.len);
+                for (owner, s, l) in
+                    split_by_owner(Layout::Block, op.array, info.len, p, op.start, op.len)
+                {
+                    let base = crate::addr::block_range(info.len, p, owner).start;
+                    out.extend_from_slice(&segs[owner][s - base..s - base + l]);
+                }
+                replies[payload.proc].results.insert(op.ticket, out);
+            }
+        }
+
+        // --- Apply puts: processor order, then issue order ---
+        for payload in &payloads {
+            for op in &payload.ops.puts {
+                let info = self.info_for_op(op.array, &new_arrays);
+                let segs = mem
+                    .get_mut(&op.array)
+                    .unwrap_or_else(|| panic!("put to array '{}' before registration sync", info.name));
+                let mut off = 0usize;
+                for (owner, s, l) in
+                    split_by_owner(Layout::Block, op.array, info.len, p, op.start, op.data.len())
+                {
+                    let base = crate::addr::block_range(info.len, p, owner).start;
+                    segs[owner][s - base..s - base + l]
+                        .copy_from_slice(&op.data[off..off + l]);
+                    off += l;
+                }
+            }
+        }
+
+        // --- Timing ---
+        let charged: Vec<u64> = payloads.iter().map(|pl| pl.charged).collect();
+        let timing = timer.sync(&charged, &matrix);
+
+        // --- Profile ---
+        let mut profile = PhaseProfile::default();
+        for i in 0..p {
+            profile.merge_max(&PhaseProfile {
+                m_op: charged[i],
+                m_rw: m_rw[i],
+                kappa: 0,
+                h_in: h_in_words[i],
+                h_out: h_out_words[i],
+                msgs: data_msgs_by[i],
+            });
+        }
+        profile.kappa = kappa;
+
+        // --- Hand memory back; install new arrays; drop unregistered ---
+        for info in &new_arrays {
+            let mut segs: Vec<Segment> = (0..p)
+                .map(|proc| vec![0u64; crate::addr::block_range(info.len, p, proc).len()])
+                .collect();
+            for proc in (0..p).rev() {
+                replies[proc].segments.insert(info.id, segs.pop().unwrap());
+            }
+            self.infos.insert(info.id, info.clone());
+        }
+        for id in &unregs {
+            self.infos.remove(id);
+            mem.remove(id);
+        }
+        for (id, mut segs) in mem {
+            for proc in (0..p).rev() {
+                replies[proc].segments.insert(id, segs.pop().unwrap());
+            }
+        }
+
+        let record = PhaseRecord { profile, timing, data_msgs, payload_bytes };
+        (replies, record)
+    }
+
+    fn info_for_op<'a>(&'a self, id: ArrayId, new_arrays: &'a [ArrayInfo]) -> &'a ArrayInfo {
+        self.infos
+            .get(&id)
+            .or_else(|| new_arrays.iter().find(|a| a.id == id))
+            .unwrap_or_else(|| panic!("operation on unknown array {id:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_counts_overlap_depth() {
+        let acc = AccessRanges {
+            reads: vec![(0, 10), (5, 10), (7, 1)],
+            writes: vec![(20, 5), (20, 5), (20, 5)],
+        };
+        assert_eq!(sweep_kappa("t", &acc, true), 3);
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_conflict() {
+        let acc = AccessRanges { reads: vec![(0, 5)], writes: vec![(5, 5)] };
+        assert_eq!(sweep_kappa("t", &acc, true), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bulk-synchrony violation")]
+    fn read_write_overlap_detected() {
+        let acc = AccessRanges { reads: vec![(0, 10)], writes: vec![(9, 1)] };
+        sweep_kappa("t", &acc, true);
+    }
+
+    #[test]
+    fn overlap_tolerated_when_check_disabled() {
+        let acc = AccessRanges { reads: vec![(0, 10)], writes: vec![(9, 1)] };
+        assert_eq!(sweep_kappa("t", &acc, false), 2);
+    }
+
+    #[test]
+    fn empty_access_set_has_zero_kappa() {
+        assert_eq!(sweep_kappa("t", &AccessRanges::default(), true), 0);
+    }
+
+    #[test]
+    fn comm_matrix_indexing() {
+        let mut m = CommMatrix::new(3);
+        assert!(m.is_empty());
+        m.at_mut(1, 2).put_items = 4;
+        assert_eq!(m.at(1, 2).put_items, 4);
+        assert_eq!(m.at(2, 1).put_items, 0);
+        assert!(!m.is_empty());
+        assert_eq!(m.nprocs(), 3);
+    }
+}

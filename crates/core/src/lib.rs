@@ -1,0 +1,67 @@
+//! # qsm-core — the bulk-synchronous QSM shared-memory runtime
+//!
+//! This crate is the Rust counterpart of the paper's shared-memory
+//! library: remote memory is accessed with explicit [`Ctx::get`] /
+//! [`Ctx::put`] calls that merely *enqueue* requests; all
+//! communication happens inside [`Ctx::sync`], where the runtime
+//! builds a communication plan, batches per-destination messages,
+//! exchanges data in a contention-avoiding round order, and runs a
+//! barrier — exactly the compiler-side of the QSM contract (Table 1
+//! of the paper: hide `l` and `o` by pipelining and batching).
+//!
+//! Programs are ordinary Rust closures over a [`Ctx`] and run
+//! unmodified on two machines:
+//!
+//! * [`SimMachine`] — `p` simulated processors priced by the
+//!   `qsm-simnet` network model; produces exact simulated cycle
+//!   counts plus QSM/s-QSM/BSP/LogP predictions per run.
+//! * [`ThreadMachine`] — `p` real host threads with wall-clock
+//!   timing, for actually-parallel execution (criterion benches).
+//!
+//! ## Example
+//!
+//! ```
+//! use qsm_core::{Layout, SimMachine};
+//! use qsm_simnet::MachineConfig;
+//!
+//! let machine = SimMachine::new(MachineConfig::paper_default(4));
+//! let run = machine.run(|ctx| {
+//!     let arr = ctx.register::<u64>("ring", ctx.nprocs(), Layout::Block);
+//!     ctx.sync();
+//!     let me = ctx.proc_id();
+//!     ctx.put(&arr, me, &[me as u64 * 10]);
+//!     ctx.sync();
+//!     let t = ctx.get(&arr, (me + 1) % ctx.nprocs(), 1);
+//!     ctx.sync();
+//!     ctx.take(t)[0]
+//! });
+//! assert_eq!(run.outputs, vec![10, 20, 30, 0]);
+//! assert_eq!(run.num_phases(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accounting;
+pub mod addr;
+pub mod calibrate;
+pub mod ctx;
+mod driver;
+pub mod ops;
+pub mod shmem;
+mod sim_timer;
+pub mod sim_runtime;
+pub mod thread_runtime;
+pub mod word;
+
+pub use accounting::{CostReport, ModelInputs};
+pub use addr::{ArrayId, Layout};
+pub use calibrate::EffectiveCosts;
+pub use ctx::Ctx;
+pub use driver::{CommMatrix, PairTraffic, PhaseRecord, PhaseTiming};
+pub use ops::GetTicket;
+pub use shmem::SharedArray;
+pub use sim_runtime::{RunResult, SimMachine};
+pub use sim_timer::empty_sync_cost;
+pub use thread_runtime::{ThreadMachine, ThreadRunResult};
+pub use word::Word;

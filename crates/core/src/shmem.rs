@@ -1,0 +1,181 @@
+//! Shared-array metadata and driver-side global memory.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use crate::addr::{block_range, ArrayId, Layout};
+use crate::word::Word;
+
+/// A typed handle to a registered shared array.
+///
+/// Handles are `Copy` and cheap; they carry no storage. All access
+/// goes through a [`crate::ctx::Ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedArray<T: Word> {
+    pub(crate) id: ArrayId,
+    pub(crate) len: usize,
+    pub(crate) layout: Layout,
+    pub(crate) _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Word> SharedArray<T> {
+    /// Identifier.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Declared layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// Metadata of one registered array, shared between workers and the
+/// driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Identifier.
+    pub id: ArrayId,
+    /// Registration name (diagnostics only).
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+    /// Wire bytes per element.
+    pub elem_bytes: u64,
+    /// Cost layout.
+    pub layout: Layout,
+}
+
+impl ArrayInfo {
+    /// 4-byte accounting words per element.
+    pub fn words_per_elem(&self) -> u64 {
+        self.elem_bytes.div_ceil(4)
+    }
+}
+
+/// A registration request (collective across processors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Name supplied by the program.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+    /// Wire bytes per element.
+    pub elem_bytes: u64,
+    /// Cost layout.
+    pub layout: Layout,
+}
+
+/// Storage for one processor's block segment of an array.
+pub type Segment = Vec<u64>;
+
+/// The per-processor view of shared memory: segment storage plus
+/// array metadata. Workers own this between syncs; the driver owns it
+/// during exchanges (ownership travels through channels, which is the
+/// entire synchronization story — no locks, no unsafe).
+#[derive(Debug, Default)]
+pub struct LocalStore {
+    /// Metadata for every live array.
+    pub infos: HashMap<ArrayId, ArrayInfo>,
+    /// This processor's block segment of each live array.
+    pub segments: HashMap<ArrayId, Segment>,
+}
+
+impl LocalStore {
+    /// Metadata lookup, panicking with the array name context on
+    /// unknown ids (e.g. use before the registering `sync()`).
+    pub fn info(&self, id: ArrayId) -> &ArrayInfo {
+        self.infos.get(&id).unwrap_or_else(|| {
+            panic!(
+                "array {:?} is not live on this processor; did you use a handle \
+                 before the sync() that completes its registration, or after \
+                 unregistering it?",
+                id
+            )
+        })
+    }
+
+    /// This processor's global index range of `id` (block partition).
+    pub fn local_range(&self, id: ArrayId, p: usize, proc: usize) -> std::ops::Range<usize> {
+        let info = self.info(id);
+        block_range(info.len, p, proc)
+    }
+
+    /// Install a new array's segment.
+    pub fn install(&mut self, info: ArrayInfo, segment: Segment) {
+        self.segments.insert(info.id, segment);
+        self.infos.insert(info.id, info);
+    }
+
+    /// Drop an array.
+    pub fn remove(&mut self, id: ArrayId) {
+        self.infos.remove(&id);
+        self.segments.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: u32, len: usize) -> ArrayInfo {
+        ArrayInfo {
+            id: ArrayId(id),
+            name: format!("a{id}"),
+            len,
+            elem_bytes: 8,
+            layout: Layout::Block,
+        }
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut s = LocalStore::default();
+        s.install(info(1, 100), vec![0; 25]);
+        assert_eq!(s.info(ArrayId(1)).len, 100);
+        assert_eq!(s.local_range(ArrayId(1), 4, 2), 50..75);
+        s.remove(ArrayId(1));
+        assert!(s.infos.is_empty() && s.segments.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn unknown_array_panics_with_context() {
+        let s = LocalStore::default();
+        let _ = s.info(ArrayId(42));
+    }
+
+    #[test]
+    fn words_per_elem_rounds_up() {
+        let mut i = info(1, 10);
+        assert_eq!(i.words_per_elem(), 2);
+        i.elem_bytes = 4;
+        assert_eq!(i.words_per_elem(), 1);
+        i.elem_bytes = 5;
+        assert_eq!(i.words_per_elem(), 2);
+    }
+
+    #[test]
+    fn handle_reports_shape() {
+        let h = SharedArray::<u64> {
+            id: ArrayId(7),
+            len: 12,
+            layout: Layout::Hashed,
+            _elem: PhantomData,
+        };
+        assert_eq!(h.id(), ArrayId(7));
+        assert_eq!(h.len(), 12);
+        assert!(!h.is_empty());
+        assert_eq!(h.layout(), Layout::Hashed);
+    }
+}

@@ -1,0 +1,397 @@
+//! Simulated timing of a bulk-synchronous exchange.
+//!
+//! Mirrors the paper's library: during `sync()` the system (1) builds
+//! and distributes a **communication plan** telling every pair of
+//! nodes how many gets and puts will flow between them, (2) exchanges
+//! data in a latin-square round order designed to avoid hot
+//! receivers, and (3) runs a barrier. Three per-node resources are
+//! modeled: the CPU (marshalling, applying, serving — the *software*
+//! costs that make the observed gap an order of magnitude above the
+//! hardware gap, cf. Table 3), and the send/receive NIC engines
+//! simulated by [`qsm_simnet::Network`].
+
+use qsm_simnet::barrier::{BarrierModel, FixedBarrier};
+use qsm_simnet::config::{BarrierKind, ExchangeOrder};
+use qsm_simnet::{Cycles, DisseminationBarrier, Injection, MachineConfig, MsgKind, Network};
+
+use crate::driver::{CommMatrix, PhaseTiming, SyncTimer};
+
+/// Wire bytes of one plan entry (get count + put count for one pair).
+const PLAN_ENTRY_BYTES: u64 = 16;
+
+/// Simulated-machine timer: owns the network and the global clock.
+pub struct SimTimer {
+    cfg: MachineConfig,
+    net: Network,
+    phase_start: Vec<Cycles>,
+    prev_release_max: Cycles,
+}
+
+impl SimTimer {
+    /// A fresh machine at time zero.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            net: Network::new(cfg.p, cfg.net),
+            cfg,
+            phase_start: vec![Cycles::ZERO; cfg.p],
+            prev_release_max: Cycles::ZERO,
+        }
+    }
+
+    /// Total simulated time elapsed so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn now(&self) -> Cycles {
+        self.prev_release_max
+    }
+
+    /// Simulate one full sync. `local_finish[i]` is when processor
+    /// `i`'s compute for the phase ended; returns each processor's
+    /// barrier release time.
+    fn simulate_exchange(&mut self, local_finish: &[Cycles], matrix: &CommMatrix) -> Vec<Cycles> {
+        let p = self.cfg.p;
+        let sw = self.cfg.sw;
+        let mut cpu: Vec<Cycles> =
+            local_finish.iter().map(|&t| t + Cycles::new(sw.sync_fixed)).collect();
+
+        if p > 1 {
+            // --- Plan distribution: all-to-all of pair counts ---
+            for c in cpu.iter_mut() {
+                *c += Cycles::new(sw.plan_entry_cost * p as f64);
+            }
+            let plan_bytes = sw.msg_header_bytes + PLAN_ENTRY_BYTES;
+            let mut plan_msgs = Vec::with_capacity(p * (p - 1));
+            for r in 1..p {
+                for (i, &ready) in cpu.iter().enumerate() {
+                    plan_msgs.push(Injection::new(i, (i + r) % p, plan_bytes, ready, MsgKind::Plan));
+                }
+            }
+            let deliveries = self.net.transmit(&plan_msgs);
+            let mut plan_done = cpu.clone();
+            for (m, d) in plan_msgs.iter().zip(&deliveries) {
+                plan_done[m.dst] = plan_done[m.dst].max(d.visible);
+            }
+            cpu = plan_done;
+        }
+
+        // --- Data exchange: latin-square rounds (round r: i -> i+r).
+        // Round 0 carries self-traffic of hashed arrays: it pays the
+        // library path (marshal, overheads, apply) but no wire
+        // latency.
+        let mut data_msgs: Vec<Injection> = Vec::new();
+        // Sidecar: (src, dst, put_items?, words...) recovered via index.
+        #[derive(Clone, Copy)]
+        struct MsgMeta {
+            items: u64,
+            words: u64,
+            reply_payload_bytes: u64,
+        }
+        let mut metas: Vec<MsgMeta> = Vec::new();
+        for r in 0..p {
+            #[allow(clippy::needless_range_loop)] // cpu is mutated mid-loop
+            for i in 0..p {
+                let dst = match sw.exchange_order {
+                    ExchangeOrder::LatinSquare => (i + r) % p,
+                    ExchangeOrder::DirectSweep => r,
+                };
+                let traffic = *matrix.at(i, dst);
+                if traffic.put_items > 0 {
+                    let marshal = sw.put_marshal * traffic.put_items as f64
+                        + sw.copy_per_word_send * traffic.put_words as f64;
+                    cpu[i] += Cycles::new(marshal);
+                    let bytes = sw.msg_header_bytes
+                        + sw.item_header_bytes * traffic.put_items
+                        + traffic.put_payload_bytes;
+                    data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::PutData));
+                    metas.push(MsgMeta {
+                        items: traffic.put_items,
+                        words: traffic.put_words,
+                        reply_payload_bytes: 0,
+                    });
+                }
+                if traffic.get_items > 0 {
+                    let marshal = sw.get_request * traffic.get_items as f64;
+                    cpu[i] += Cycles::new(marshal);
+                    let bytes =
+                        sw.msg_header_bytes + sw.item_header_bytes * traffic.get_items;
+                    data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::GetRequest));
+                    metas.push(MsgMeta {
+                        items: traffic.get_items,
+                        words: traffic.get_words,
+                        reply_payload_bytes: traffic.get_reply_payload_bytes,
+                    });
+                }
+            }
+        }
+        let deliveries = self.net.transmit(&data_msgs);
+
+        // --- Receiver-side processing in deterministic arrival order.
+        let mut inbox: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (idx, m) in data_msgs.iter().enumerate() {
+            inbox[m.dst].push(idx);
+        }
+        let mut replies: Vec<Injection> = Vec::new();
+        let mut reply_metas: Vec<MsgMeta> = Vec::new();
+        for (dst, msgs) in inbox.iter_mut().enumerate() {
+            msgs.sort_by(|&a, &b| {
+                deliveries[a]
+                    .visible
+                    .cmp(&deliveries[b].visible)
+                    .then_with(|| data_msgs[a].src.cmp(&data_msgs[b].src))
+                    .then_with(|| a.cmp(&b))
+            });
+            for &idx in msgs.iter() {
+                let m = &data_msgs[idx];
+                let meta = metas[idx];
+                match m.kind {
+                    MsgKind::PutData => {
+                        let apply = sw.put_apply * meta.items as f64
+                            + sw.copy_per_word_recv * meta.words as f64;
+                        cpu[dst] = cpu[dst].max(deliveries[idx].visible) + Cycles::new(apply);
+                    }
+                    MsgKind::GetRequest => {
+                        let serve = sw.get_serve * meta.items as f64
+                            + sw.copy_per_word_send * meta.words as f64;
+                        cpu[dst] = cpu[dst].max(deliveries[idx].visible) + Cycles::new(serve);
+                        let bytes = sw.msg_header_bytes
+                            + sw.item_header_bytes * meta.items
+                            + meta.reply_payload_bytes;
+                        replies.push(Injection::new(dst, m.src, bytes, cpu[dst], MsgKind::GetReply));
+                        reply_metas.push(meta);
+                    }
+                    _ => unreachable!("unexpected message kind in data exchange"),
+                }
+            }
+        }
+
+        // --- Replies back to the requesters.
+        if !replies.is_empty() {
+            let reply_deliveries = self.net.transmit(&replies);
+            let mut reply_inbox: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (idx, m) in replies.iter().enumerate() {
+                reply_inbox[m.dst].push(idx);
+            }
+            for (dst, msgs) in reply_inbox.iter_mut().enumerate() {
+                msgs.sort_by(|&a, &b| {
+                    reply_deliveries[a]
+                        .visible
+                        .cmp(&reply_deliveries[b].visible)
+                        .then_with(|| replies[a].src.cmp(&replies[b].src))
+                        .then_with(|| a.cmp(&b))
+                });
+                for &idx in msgs.iter() {
+                    let meta = reply_metas[idx];
+                    let apply = sw.get_apply * meta.items as f64
+                        + sw.copy_per_word_recv * meta.words as f64;
+                    cpu[dst] =
+                        cpu[dst].max(reply_deliveries[idx].visible) + Cycles::new(apply);
+                }
+            }
+        }
+
+        // --- Barrier.
+        let enter: Vec<Cycles> =
+            (0..p).map(|i| cpu[i].max(self.net.send_free_at(i))).collect();
+        if p > 1 {
+            match sw.barrier {
+                BarrierKind::Dissemination => {
+                    DisseminationBarrier.run(&mut self.net, &sw, &enter)
+                }
+                BarrierKind::Fixed(l) => FixedBarrier(l).run(&mut self.net, &sw, &enter),
+            }
+        } else {
+            enter
+        }
+    }
+}
+
+impl SyncTimer for SimTimer {
+    fn sync(&mut self, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming {
+        let local_finish: Vec<Cycles> = charged
+            .iter()
+            .zip(&self.phase_start)
+            .enumerate()
+            .map(|(i, (&ops, &start))| start + self.cfg.cpu.ops(ops) * self.cfg.cpu_factor(i))
+            .collect();
+        let release = self.simulate_exchange(&local_finish, matrix);
+        let release_max = release.iter().copied().fold(Cycles::ZERO, Cycles::max);
+        let compute = charged
+            .iter()
+            .enumerate()
+            .map(|(i, &ops)| self.cfg.cpu.ops(ops) * self.cfg.cpu_factor(i))
+            .fold(Cycles::ZERO, Cycles::max);
+        let elapsed = release_max - self.prev_release_max;
+        let comm = elapsed - compute;
+        self.prev_release_max = release_max;
+        self.phase_start = release;
+        PhaseTiming { elapsed, compute, comm }
+    }
+}
+
+/// Cost of one completely empty `sync()` (plan all-to-all + barrier)
+/// on a fresh machine: the Table 3 "synchronization barrier L"
+/// microbenchmark, and the `L` used by BSP predictions.
+pub fn empty_sync_cost(cfg: MachineConfig) -> Cycles {
+    let mut timer = SimTimer::new(cfg);
+    let charged = vec![0u64; cfg.p];
+    let matrix = CommMatrix::new(cfg.p);
+    timer.sync(&charged, &matrix).elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(cfg: MachineConfig, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming {
+        let mut t = SimTimer::new(cfg);
+        t.sync(charged, matrix)
+    }
+
+    #[test]
+    fn empty_sync_near_paper_l() {
+        // Table 3: 25 500 cycles (64 us) at p = 16.
+        let l = empty_sync_cost(MachineConfig::paper_default(16)).get();
+        assert!(
+            (22_000.0..29_000.0).contains(&l),
+            "empty sync = {l}, want ~25500 (Table 3)"
+        );
+    }
+
+    #[test]
+    fn single_processor_sync_is_cheap() {
+        let l = empty_sync_cost(MachineConfig::paper_default(1)).get();
+        assert!(l < 1_000.0, "p=1 sync = {l}");
+    }
+
+    #[test]
+    fn compute_only_phase_has_tiny_comm() {
+        let cfg = MachineConfig::paper_default(4);
+        let t = timing(cfg, &[1_000_000, 900_000, 800_000, 700_000], &CommMatrix::new(4));
+        assert_eq!(t.compute.get(), 1_000_000.0);
+        // comm = empty-sync overhead only.
+        assert!(t.comm.get() < 30_000.0);
+        assert_eq!(t.elapsed, t.compute + t.comm);
+    }
+
+    #[test]
+    fn put_traffic_increases_comm_linearly_in_words() {
+        let cfg = MachineConfig::paper_default(4);
+        let mk = |words: u64| {
+            let mut m = CommMatrix::new(4);
+            for i in 0..4usize {
+                let c = m.at_mut(i, (i + 1) % 4);
+                c.put_items = 1;
+                c.put_words = words;
+                c.put_payload_bytes = words * 4;
+            }
+            m
+        };
+        let small = timing(cfg, &[0; 4], &mk(1_000)).comm.get();
+        let large = timing(cfg, &[0; 4], &mk(10_000)).comm.get();
+        let ratio = (large - small) / 9.0; // extra cost per 1000 words
+        // Per word: wire 12 + copy 4+4 = at least 20 cycles/word.
+        assert!(ratio > 1_000.0 * 15.0, "ratio {ratio}");
+        assert!(large > small);
+    }
+
+    #[test]
+    fn gets_cost_more_than_puts() {
+        // Round trip + serve costs: the paper's 287 vs 35 cycles/byte.
+        let cfg = MachineConfig::paper_default(4);
+        let mut puts = CommMatrix::new(4);
+        let mut gets = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = puts.at_mut(i, (i + 1) % 4);
+            c.put_items = 1000;
+            c.put_words = 1000;
+            c.put_payload_bytes = 4000;
+            let c = gets.at_mut(i, (i + 1) % 4);
+            c.get_items = 1000;
+            c.get_words = 1000;
+            c.get_reply_payload_bytes = 4000;
+        }
+        let tp = timing(cfg, &[0; 4], &puts).comm.get();
+        let tg = timing(cfg, &[0; 4], &gets).comm.get();
+        assert!(tg > 2.0 * tp, "get comm {tg} !>> put comm {tp}");
+    }
+
+    #[test]
+    fn latency_adds_constant_not_linear_cost() {
+        // QSM's central hypothesis: with pipelining, raising l shifts
+        // communication time by a constant, independent of volume.
+        let base = MachineConfig::paper_default(8);
+        let slow = base.with_latency(16_000.0);
+        let mk = |words: u64| {
+            let mut m = CommMatrix::new(8);
+            for i in 0..8usize {
+                let c = m.at_mut(i, (i + 3) % 8);
+                c.put_items = 1;
+                c.put_words = words;
+                c.put_payload_bytes = words * 4;
+            }
+            m
+        };
+        let d_small = timing(slow, &[0; 8], &mk(100)).comm.get()
+            - timing(base, &[0; 8], &mk(100)).comm.get();
+        let d_large = timing(slow, &[0; 8], &mk(100_000)).comm.get()
+            - timing(base, &[0; 8], &mk(100_000)).comm.get();
+        // The latency penalty must not grow with message size.
+        assert!(d_small > 0.0);
+        let growth = d_large / d_small;
+        assert!(growth < 1.5, "latency penalty grew {growth}x with volume");
+    }
+
+    #[test]
+    fn clock_advances_monotonically_across_phases() {
+        let cfg = MachineConfig::paper_default(4);
+        let mut t = SimTimer::new(cfg);
+        let m = CommMatrix::new(4);
+        let mut last = Cycles::ZERO;
+        for k in 1..5u64 {
+            let timing = t.sync(&[k * 100; 4], &m);
+            assert!(timing.elapsed.get() > 0.0);
+            assert!(t.now() > last);
+            last = t.now();
+        }
+    }
+
+    #[test]
+    fn fixed_barrier_pins_empty_sync_cost() {
+        use qsm_simnet::BarrierKind;
+        // With a BSP-style fixed barrier, the empty sync cost is the
+        // plan exchange plus exactly L.
+        let l = 10_000.0;
+        let diss = empty_sync_cost(MachineConfig::paper_default(8)).get();
+        let fixed = empty_sync_cost(
+            MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(l)),
+        )
+        .get();
+        // Same plan cost in both; the barrier part differs.
+        assert_ne!(diss, fixed);
+        let plan_part = fixed - l;
+        assert!(plan_part > 0.0, "plan part {plan_part}");
+        // Fixed(0) isolates the plan exchange exactly.
+        let plan_only = empty_sync_cost(
+            MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(0.0)),
+        )
+        .get();
+        assert!((plan_only - plan_part).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_traffic_pays_library_but_not_latency() {
+        let cfg = MachineConfig::paper_default(2);
+        let mut own = CommMatrix::new(2);
+        own.at_mut(0, 0).put_items = 100;
+        own.at_mut(0, 0).put_words = 100;
+        own.at_mut(0, 0).put_payload_bytes = 400;
+        let mut remote = CommMatrix::new(2);
+        remote.at_mut(0, 1).put_items = 100;
+        remote.at_mut(0, 1).put_words = 100;
+        remote.at_mut(0, 1).put_payload_bytes = 400;
+        let t_own = timing(cfg, &[0; 2], &own).comm.get();
+        let t_remote = timing(cfg, &[0; 2], &remote).comm.get();
+        assert!(t_own < t_remote, "self traffic {t_own} should undercut remote {t_remote}");
+        let empty = empty_sync_cost(cfg).get();
+        assert!(t_own > empty, "self traffic {t_own} must still cost above empty sync {empty}");
+    }
+}

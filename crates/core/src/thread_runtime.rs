@@ -1,0 +1,157 @@
+//! The native QSM machine: same programming model, real threads.
+//!
+//! [`ThreadMachine`] executes a QSM program on `p` host OS threads
+//! with real wall-clock timing, using the identical driver and
+//! context as [`crate::SimMachine`] — so every algorithm written once
+//! runs unmodified on both. This is the workspace's "run on actual
+//! parallel hardware" backend (the paper's NOW/SMP role), used by the
+//! criterion benches.
+//!
+//! Timing units: the [`crate::driver::PhaseTiming`] fields are
+//! **nanoseconds** here (the `Cycles` newtype is reused as a plain
+//! number container). The phase `compute` component is the interval
+//! between barrier release and the last `sync()` arrival, measured on
+//! the driver; `comm` is the driver's exchange-processing time.
+
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded};
+use qsm_models::ProgramProfile;
+use qsm_simnet::Cycles;
+
+use crate::ctx::Ctx;
+use crate::driver::{CommMatrix, Driver, PhaseRecord, PhaseTiming, SyncTimer};
+
+/// Wall-clock timer: phases are priced by elapsed real time.
+struct WallTimer {
+    run_start: Instant,
+    last_release: f64,
+}
+
+impl WallTimer {
+    fn new() -> Self {
+        Self { run_start: Instant::now(), last_release: 0.0 }
+    }
+}
+
+impl SyncTimer for WallTimer {
+    fn sync(&mut self, _charged: &[u64], _matrix: &CommMatrix) -> PhaseTiming {
+        // Called by the driver after all workers arrived and data has
+        // been applied; "now" is effectively the end of the exchange.
+        let now = self.run_start.elapsed().as_nanos() as f64;
+        let elapsed = now - self.last_release;
+        self.last_release = now;
+        PhaseTiming {
+            elapsed: Cycles::new(elapsed),
+            compute: Cycles::ZERO,
+            comm: Cycles::new(elapsed),
+        }
+    }
+}
+
+/// Result of one native run.
+#[derive(Debug)]
+pub struct ThreadRunResult<R> {
+    /// Each processor's return value, indexed by processor id.
+    pub outputs: Vec<R>,
+    /// One record per phase (timing in nanoseconds).
+    pub phases: Vec<PhaseRecord>,
+    /// The model-facing profile — identical to what the simulated
+    /// machine would record, since metering is layout-driven.
+    pub profile: ProgramProfile,
+    /// Total wall-clock nanoseconds.
+    pub wall_nanos: f64,
+}
+
+/// A native (host-thread) QSM machine.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadMachine {
+    p: usize,
+    seed: u64,
+    check_conflicts: bool,
+}
+
+impl ThreadMachine {
+    /// Create a `p`-thread machine.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        Self { p, seed: 0x1998_0021, check_conflicts: true }
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disable the read/write-overlap phase check.
+    pub fn with_conflict_check(mut self, check: bool) -> Self {
+        self.check_conflicts = check;
+        self
+    }
+
+    /// Number of threads.
+    pub fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    /// Run `program` on every thread.
+    pub fn run<R, F>(&self, program: F) -> ThreadRunResult<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+    {
+        let p = self.p;
+        let (worker_tx, driver_rx) = unbounded();
+        let mut reply_txs = Vec::with_capacity(p);
+        let mut reply_rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = bounded(1);
+            reply_txs.push(tx);
+            reply_rxs.push(rx);
+        }
+
+        let driver = Driver::new(p, self.check_conflicts);
+        let program = &program;
+        let seed = self.seed;
+        let start = Instant::now();
+
+        let scope_result = crossbeam::thread::scope(move |scope| {
+            let mut timer = WallTimer::new();
+            let mut handles = Vec::with_capacity(p);
+            for (proc, rx) in reply_rxs.into_iter().enumerate() {
+                let tx = worker_tx.clone();
+                handles.push(scope.spawn(move |_| {
+                    let panic_tx = tx.clone();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut ctx = Ctx::new(proc, p, seed, tx, rx);
+                        let out = program(&mut ctx);
+                        ctx.finish();
+                        out
+                    }));
+                    match result {
+                        Ok(out) => Some(out),
+                        Err(payload) => {
+                            let _ = panic_tx.send(crate::driver::WorkerMsg::Panicked(payload));
+                            None
+                        }
+                    }
+                }));
+            }
+            drop(worker_tx);
+            let driver_result = driver.run(&driver_rx, &reply_txs, &mut timer);
+            drop(reply_txs); // release any workers still blocked in sync()
+            Driver::collect_outputs(handles, driver_result)
+        });
+        let (outputs, phases) = match scope_result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+
+        let wall_nanos = start.elapsed().as_nanos() as f64;
+        let profile = ProgramProfile {
+            phases: phases.iter().map(|r| r.profile).collect(),
+        };
+        ThreadRunResult { outputs, phases, profile, wall_nanos }
+    }
+}

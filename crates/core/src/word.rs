@@ -1,0 +1,132 @@
+//! Element types storable in QSM shared arrays.
+//!
+//! All shared-array storage is uniformly `u64` bit patterns
+//! internally; a [`Word`] knows how to round-trip itself through that
+//! representation and how many *wire bytes* it occupies. Cost
+//! accounting converts element counts into the paper's 4-byte word
+//! units via [`Word::BYTES`].
+
+/// An element type usable in a [`crate::shmem::SharedArray`].
+pub trait Word: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Wire size of one element in bytes (what the gap is charged on).
+    const BYTES: u64;
+
+    /// Encode into the storage representation.
+    fn to_raw(self) -> u64;
+
+    /// Decode from the storage representation.
+    fn from_raw(raw: u64) -> Self;
+
+    /// Number of 4-byte accounting words one element occupies
+    /// (rounded up).
+    fn words() -> u64 {
+        Self::BYTES.div_ceil(4)
+    }
+}
+
+impl Word for u32 {
+    const BYTES: u64 = 4;
+    fn to_raw(self) -> u64 {
+        self as u64
+    }
+    fn from_raw(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl Word for u64 {
+    const BYTES: u64 = 8;
+    fn to_raw(self) -> u64 {
+        self
+    }
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Word for i32 {
+    const BYTES: u64 = 4;
+    fn to_raw(self) -> u64 {
+        self as u32 as u64
+    }
+    fn from_raw(raw: u64) -> Self {
+        raw as u32 as i32
+    }
+}
+
+impl Word for i64 {
+    const BYTES: u64 = 8;
+    fn to_raw(self) -> u64 {
+        self as u64
+    }
+    fn from_raw(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl Word for f64 {
+    const BYTES: u64 = 8;
+    fn to_raw(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_raw(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Word>(v: T) {
+        assert_eq!(T::from_raw(v.to_raw()), v);
+    }
+
+    #[test]
+    fn all_types_round_trip() {
+        round_trip(0u32);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-1i32);
+        round_trip(i32::MIN);
+        round_trip(-1i64);
+        round_trip(i64::MIN);
+        round_trip(-0.0f64);
+        round_trip(1.5e300f64);
+    }
+
+    #[test]
+    fn negative_i32_does_not_sign_extend_into_raw() {
+        // -1i32 must occupy only the low 32 bits so that accounting
+        // by byte width stays meaningful.
+        assert_eq!((-1i32).to_raw(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn word_units() {
+        assert_eq!(u32::words(), 1);
+        assert_eq!(u64::words(), 2);
+        assert_eq!(f64::words(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u32_round_trip(v: u32) { prop_assert_eq!(u32::from_raw(v.to_raw()), v); }
+        #[test]
+        fn i64_round_trip(v: i64) { prop_assert_eq!(i64::from_raw(v.to_raw()), v); }
+        #[test]
+        fn f64_round_trip(v: f64) {
+            if v.is_nan() {
+                prop_assert!(f64::from_raw(v.to_raw()).is_nan());
+            } else {
+                prop_assert_eq!(f64::from_raw(v.to_raw()), v);
+            }
+        }
+    }
+}

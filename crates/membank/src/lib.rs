@@ -1,0 +1,31 @@
+//! # qsm-membank — the Section 4 memory-bank contention study
+//!
+//! QSM does not model how data spreads across memory banks; it
+//! expects the runtime to randomize layout and charges only hot-spot
+//! contention (κ). Section 4 of the paper stress-tests that decision
+//! with a microbenchmark running three patterns — [`pattern::Pattern::Random`]
+//! (what randomization achieves), [`pattern::Pattern::Conflict`]
+//! (worst case), and [`pattern::Pattern::NoConflict`] (hand-placed
+//! ideal) — on four platforms.
+//!
+//! This crate provides:
+//! * [`machine`] — queue-parameter profiles of the four platforms
+//!   (Sun E5000 natively and under BSPlib, an Ethernet NOW under
+//!   BSPlib, and a Cray T3E with `shmem`).
+//! * [`sim`] — the closed-loop bank-queue simulator that regenerates
+//!   Figure 7's panels.
+//! * [`native`] — the same microbenchmark on the host machine, with
+//!   padded atomics as banks, for a real-hardware data point.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod machine;
+pub mod native;
+pub mod pattern;
+pub mod sim;
+
+pub use machine::BankMachine;
+pub use native::{run_native, run_native_all, NativeResult};
+pub use pattern::Pattern;
+pub use sim::{simulate, simulate_all, PatternResult};

@@ -1,0 +1,113 @@
+//! Native (real-hardware) variant of the microbenchmark.
+//!
+//! Runs the same three access patterns on the host machine: "banks"
+//! are cache-line-padded atomic counters, every access is an atomic
+//! read-modify-write (forcing a coherence transaction, the closest
+//! portable analogue of a memory-bank visit), and each worker thread
+//! hammers the banks as fast as it can. This contributes a real
+//! measured data point next to the per-platform simulations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::pattern::Pattern;
+
+/// One cache-line-padded bank.
+#[repr(align(128))]
+struct Bank(AtomicU64);
+
+/// Result of a native run of one pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeResult {
+    /// The pattern measured.
+    pub pattern: Pattern,
+    /// Average nanoseconds per access (across all threads).
+    pub avg_ns: f64,
+}
+
+/// Run `accesses` atomic accesses per thread under `pattern` with
+/// `threads` workers over `banks` padded atomics.
+pub fn run_native(threads: usize, banks: usize, pattern: Pattern, accesses: usize) -> NativeResult {
+    assert!(threads >= 1 && banks >= 1 && accesses >= 1);
+    let bank_cells: Vec<Bank> = (0..banks).map(|_| Bank(AtomicU64::new(0))).collect();
+    let bank_cells = &bank_cells;
+
+    let total_ns: f64 = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move |_| {
+                    let mut rng = SmallRng::seed_from_u64(0xBEEF ^ t as u64);
+                    // Pre-draw targets so RNG cost stays out of the
+                    // measured loop.
+                    let targets: Vec<usize> =
+                        (0..accesses).map(|_| pattern.target_bank(t, banks, &mut rng)).collect();
+                    let start = Instant::now();
+                    let mut sink = 0u64;
+                    for &b in &targets {
+                        sink = sink.wrapping_add(bank_cells[b].0.fetch_add(1, Ordering::Relaxed));
+                    }
+                    std::hint::black_box(sink);
+                    start.elapsed().as_nanos() as f64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench thread panicked")).sum()
+    })
+    .expect("native membank scope panicked");
+
+    NativeResult {
+        pattern,
+        avg_ns: total_ns / (threads * accesses) as f64,
+    }
+}
+
+/// Run all three patterns.
+pub fn run_native_all(threads: usize, banks: usize, accesses: usize) -> Vec<NativeResult> {
+    Pattern::all().iter().map(|&p| run_native(threads, banks, p, accesses)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_run_produces_positive_times() {
+        let rs = run_native_all(2, 4, 20_000);
+        assert_eq!(rs.len(), 3);
+        for r in rs {
+            assert!(r.avg_ns > 0.0, "{:?}", r);
+            assert!(r.avg_ns < 1e7, "implausibly slow: {:?}", r);
+        }
+    }
+
+    #[test]
+    fn conflict_not_faster_than_noconflict_on_real_hardware() {
+        // Coherence traffic on one line can only hurt — but only when
+        // threads actually run in parallel. On a single-CPU host the
+        // patterns are indistinguishable, so just require the runs to
+        // complete with plausible timings there.
+        let threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let conflict = run_native(4, 8, Pattern::Conflict, 200_000).avg_ns;
+        let noconflict = run_native(4, 8, Pattern::NoConflict, 200_000).avg_ns;
+        if threads >= 4 {
+            assert!(
+                conflict > 0.7 * noconflict,
+                "conflict {conflict} vs noconflict {noconflict}"
+            );
+        } else {
+            assert!(conflict > 0.0 && noconflict > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_thread_patterns_roughly_equal() {
+        // Without concurrency there is no contention to observe.
+        let rs = run_native_all(1, 8, 200_000);
+        let max = rs.iter().map(|r| r.avg_ns).fold(0.0, f64::max);
+        let min = rs.iter().map(|r| r.avg_ns).fold(f64::INFINITY, f64::min);
+        assert!(max / min < 4.0, "single-thread spread too wide: {rs:?}");
+    }
+}

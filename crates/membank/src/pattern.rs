@@ -1,0 +1,87 @@
+//! The three access patterns of the Section 4 microbenchmark.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Which global-memory bank each access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Every access goes to a random word in a random remote bank:
+    /// what a QSM runtime achieves by randomizing data layout.
+    Random,
+    /// Every access goes to bank 0: the hot-spot case a runtime that
+    /// does nothing about layout can suffer.
+    Conflict,
+    /// Processor `i` always accesses bank `i + 1 (mod banks)`: the
+    /// hand-placed best case available only under a more detailed
+    /// model than QSM.
+    NoConflict,
+}
+
+impl Pattern {
+    /// All three patterns in the paper's presentation order.
+    pub fn all() -> [Pattern; 3] {
+        [Pattern::Random, Pattern::Conflict, Pattern::NoConflict]
+    }
+
+    /// The bank targeted by `proc`'s next access.
+    pub fn target_bank(self, proc: usize, banks: usize, rng: &mut SmallRng) -> usize {
+        assert!(banks >= 1);
+        match self {
+            Pattern::Random => rng.gen_range(0..banks),
+            Pattern::Conflict => 0,
+            Pattern::NoConflict => (proc + 1) % banks,
+        }
+    }
+
+    /// Display label matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Random => "Random",
+            Pattern::Conflict => "Conflict",
+            Pattern::NoConflict => "NoConflict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conflict_always_hits_bank_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for proc in 0..8 {
+            assert_eq!(Pattern::Conflict.target_bank(proc, 8, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn noconflict_assigns_distinct_banks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let banks = 8;
+        let targets: Vec<usize> =
+            (0..banks).map(|p| Pattern::NoConflict.target_bank(p, banks, &mut rng)).collect();
+        let mut uniq = targets.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), banks, "each processor must own a bank: {targets:?}");
+    }
+
+    #[test]
+    fn random_covers_all_banks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = vec![false; 8];
+        for _ in 0..1000 {
+            seen[Pattern::Random.target_bank(0, 8, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Pattern::Random.label(), "Random");
+        assert_eq!(Pattern::all().len(), 3);
+    }
+}

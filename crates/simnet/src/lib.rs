@@ -1,0 +1,56 @@
+//! # qsm-simnet — discrete-event multiprocessor network simulator
+//!
+//! This crate is the workspace's stand-in for *Armadillo*, the
+//! simulator used in the paper. The paper's experiments exercise only
+//! Armadillo's network model — a configurable gap (bandwidth),
+//! latency, and per-message overhead, with **no network contention**
+//! — plus a fixed CPU configuration used to convert local work into
+//! cycles. `qsm-simnet` implements exactly that surface:
+//!
+//! * [`time::Cycles`] — simulated time in processor clock cycles.
+//! * [`config::MachineConfig`] — the simulated machine: processor
+//!   count, network parameters (Table 3), CPU parameters (Table 2's
+//!   400 MHz node reduced to a cycles-per-operation rate), and the
+//!   shared-memory library's software cost constants.
+//! * [`network::Network`] — per-node send/receive engines with busy
+//!   timelines; [`network::Network::transmit`] delivers a batch of
+//!   messages and reports when each becomes visible to the receiving
+//!   node's software.
+//! * [`barrier`] — a dissemination barrier built *out of simulated
+//!   messages*, so that the measured barrier cost `L` (the paper
+//!   reports 25 500 cycles at p = 16) emerges from `l`, `o`, and
+//!   per-round software cost rather than being configured directly.
+//! * [`event::EventQueue`] — a deterministic priority queue reused by
+//!   other simulators in the workspace (e.g. `qsm-membank`).
+//!
+//! The network model, per message of `b` bytes from `s` to `d`:
+//!
+//! ```text
+//! depart(m)  = max(ready(m), send_free(s)) + o_send + b·gap
+//! arrive(m)  = depart(m) + latency
+//! visible(m) = max(arrive(m), recv_free(d)) + o_recv + b·gap
+//! ```
+//!
+//! with `send_free`/`recv_free` advancing FIFO per node. This gives
+//! pipelining (many messages overlap their latencies) and batching
+//! (one overhead per message, however large) exactly the roles the
+//! QSM contract assigns to the compiler/runtime.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod barrier;
+pub mod config;
+pub mod event;
+pub mod message;
+pub mod network;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use barrier::{BarrierModel, DisseminationBarrier};
+pub use config::{BarrierKind, CpuConfig, ExchangeOrder, MachineConfig, NetConfig, SoftwareConfig};
+pub use message::{Injection, MsgKind};
+pub use network::Network;
+pub use stats::NetStats;
+pub use time::Cycles;

@@ -1,0 +1,71 @@
+//! Aggregate network statistics.
+
+use std::collections::HashMap;
+
+use crate::message::MsgKind;
+use crate::time::Cycles;
+
+/// Counters accumulated by a [`crate::network::Network`] across all
+/// transmissions since the last reset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total wire bytes moved.
+    pub bytes: u64,
+    /// Cycles all senders spent busy (overhead + serialization).
+    pub send_busy: Cycles,
+    /// Cycles all receivers spent busy (overhead + ingestion).
+    pub recv_busy: Cycles,
+    /// Per-kind message counts.
+    pub by_kind: HashMap<MsgKind, u64>,
+}
+
+impl NetStats {
+    /// Record one delivered message.
+    pub fn record(&mut self, kind: MsgKind, bytes: u64, send_busy: Cycles, recv_busy: Cycles) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.send_busy += send_busy;
+        self.recv_busy += recv_busy;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Messages of a given kind.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = NetStats::default();
+        s.record(MsgKind::PutData, 100, Cycles::new(10.0), Cycles::new(20.0));
+        s.record(MsgKind::PutData, 50, Cycles::new(5.0), Cycles::new(5.0));
+        s.record(MsgKind::Barrier, 8, Cycles::new(1.0), Cycles::new(1.0));
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 158);
+        assert_eq!(s.count(MsgKind::PutData), 2);
+        assert_eq!(s.count(MsgKind::Barrier), 1);
+        assert_eq!(s.count(MsgKind::GetReply), 0);
+        assert_eq!(s.send_busy.get(), 16.0);
+        assert_eq!(s.recv_busy.get(), 26.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = NetStats::default();
+        s.record(MsgKind::Other, 1, Cycles::ZERO, Cycles::ZERO);
+        s.clear();
+        assert_eq!(s, NetStats::default());
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate correctness: every algorithm must reproduce its
+//! sequential oracle bit-for-bit, on both machines, across processor
+//! counts and problem shapes.
+
+use qsm::algorithms::{gen, listrank, prefix, samplesort, seq};
+use qsm::core::{SimMachine, ThreadMachine};
+use qsm::simnet::MachineConfig;
+
+fn sim(p: usize) -> SimMachine {
+    SimMachine::new(MachineConfig::paper_default(p))
+}
+
+#[test]
+fn prefix_matches_oracle_across_processor_counts() {
+    let input = gen::random_u64s(3000, 1);
+    let oracle = seq::prefix_sums(&input);
+    for p in [1, 2, 3, 7, 16] {
+        let run = prefix::run_sim(&sim(p), &input);
+        assert_eq!(run.output, oracle, "p = {p}");
+    }
+}
+
+#[test]
+fn samplesort_matches_oracle_across_processor_counts() {
+    let input = gen::random_u32s(5000, 2);
+    let oracle = seq::sorted(&input);
+    for p in [1, 2, 5, 8, 16] {
+        let run = samplesort::run_sim(&sim(p), &input);
+        assert_eq!(run.output, oracle, "p = {p}");
+    }
+}
+
+#[test]
+fn listrank_matches_oracle_across_processor_counts() {
+    let (succ, pred, head) = gen::random_list(3000, 3);
+    let oracle = seq::list_ranks(&succ, head);
+    for p in [1, 2, 4, 8] {
+        let run = listrank::run_sim(&sim(p), &succ, &pred);
+        assert_eq!(run.ranks, oracle, "p = {p}");
+    }
+}
+
+#[test]
+fn algorithms_agree_between_simulated_and_native_machines() {
+    let input_u64 = gen::random_u64s(2000, 4);
+    let input_u32 = gen::random_u32s(2000, 5);
+    let (succ, pred, _) = gen::random_list(1000, 6);
+
+    let s = sim(4);
+    let t = ThreadMachine::new(4);
+
+    assert_eq!(prefix::run_sim(&s, &input_u64).output, prefix::run_threads(&t, &input_u64).0);
+    assert_eq!(
+        samplesort::run_sim(&s, &input_u32).output,
+        samplesort::run_threads(&t, &input_u32).0
+    );
+    assert_eq!(
+        listrank::run_sim(&s, &succ, &pred).ranks,
+        listrank::run_threads(&t, &succ, &pred).0
+    );
+}
+
+#[test]
+fn degenerate_problem_shapes() {
+    // n = 1 everywhere.
+    assert_eq!(prefix::run_sim(&sim(4), &[42]).output, vec![42]);
+    assert_eq!(samplesort::run_sim(&sim(4), &[7]).output, vec![7]);
+    let (succ, pred, _) = gen::random_list(1, 0);
+    assert_eq!(listrank::run_sim(&sim(2), &succ, &pred).ranks, vec![0]);
+
+    // All-equal keys.
+    let equal = vec![9u32; 1000];
+    assert_eq!(samplesort::run_sim(&sim(8), &equal).output, equal);
+
+    // Already-sorted and reverse-sorted inputs.
+    let sorted_in: Vec<u32> = (0..1500).collect();
+    assert_eq!(samplesort::run_sim(&sim(8), &sorted_in).output, sorted_in);
+    let rev: Vec<u32> = (0..1500).rev().collect();
+    assert_eq!(samplesort::run_sim(&sim(8), &rev).output, sorted_in);
+}
+
+#[test]
+fn profiles_identical_across_machines() {
+    // Metering is layout-driven, so the simulated and native machines
+    // must record the same per-phase traffic profile.
+    let input = gen::random_u64s(4096, 7);
+    let a = prefix::run_sim(&sim(4), &input).run.profile;
+    let b = prefix::run_threads(&ThreadMachine::new(4), &input).1.profile;
+    assert_eq!(a, b);
+}
