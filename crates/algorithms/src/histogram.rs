@@ -176,10 +176,7 @@ mod tests {
         let m = machine(8);
         let small = run_sim(&m, &random_u32s(1 << 10, 24), 128).comm();
         let large = run_sim(&m, &random_u32s(1 << 16, 24), 128).comm();
-        assert!(
-            (large / small - 1.0).abs() < 0.2,
-            "comm should be ~flat in n: {small} -> {large}"
-        );
+        assert!((large / small - 1.0).abs() < 0.2, "comm should be ~flat in n: {small} -> {large}");
     }
 
     #[test]

@@ -423,8 +423,7 @@ fn iter_maxima(outcomes: &[ProcOutcome]) -> Vec<IterStats> {
                 m.active = m.active.max(o.iters[i].active);
                 m.get_words = m.get_words.max(o.iters[i].get_words);
                 m.put_words = m.put_words.max(o.iters[i].put_words);
-                m.expansion_get_words =
-                    m.expansion_get_words.max(o.iters[i].expansion_get_words);
+                m.expansion_get_words = m.expansion_get_words.max(o.iters[i].expansion_get_words);
             }
             m
         })
@@ -510,13 +509,7 @@ pub fn predict_estimate(run: &ListRankRun, params: &EffectiveParams) -> Predicti
         comm += params.g_get * (it.get_words + it.expansion_get_words) as f64
             + params.g_put * it.put_words as f64;
     }
-    let finish = run
-        .run
-        .outputs
-        .iter()
-        .map(|o| o.finish_words)
-        .max()
-        .unwrap_or(0);
+    let finish = run.run.outputs.iter().map(|o| o.finish_words).max().unwrap_or(0);
     comm += params.g_put * finish as f64 + params.g_put * 2.0 * (p - 1.0);
     Prediction::from_qsm(comm, run.phases(), params)
 }

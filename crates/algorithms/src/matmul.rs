@@ -100,7 +100,8 @@ fn program(ctx: &mut Ctx, a: &Matrix, b: &Matrix) -> Vec<f64> {
     ctx.sync();
 
     let my_rows = r1 - r0;
-    let a_local = if my_rows > 0 { ctx.local_read(&a_arr, r0 * n, my_rows * n) } else { Vec::new() };
+    let a_local =
+        if my_rows > 0 { ctx.local_read(&a_arr, r0 * n, my_rows * n) } else { Vec::new() };
     let mut c_local = vec![0.0f64; my_rows * n];
 
     // --- p rounds: fetch B's row block from owner (me + r) mod p
@@ -109,15 +110,12 @@ fn program(ctx: &mut Ctx, a: &Matrix, b: &Matrix) -> Vec<f64> {
         let owner = (me + r) % p;
         let (k0, k1) = row_span(n, p, owner);
         let block: Vec<f64> = if owner == me {
-            let blk = if k0 < k1 { ctx.local_read(&b_arr, k0 * n, (k1 - k0) * n) } else { Vec::new() };
+            let blk =
+                if k0 < k1 { ctx.local_read(&b_arr, k0 * n, (k1 - k0) * n) } else { Vec::new() };
             ctx.sync(); // keep the phase structure collective
             blk
         } else {
-            let t = if k0 < k1 {
-                Some(ctx.get(&b_arr, k0 * n, (k1 - k0) * n))
-            } else {
-                None
-            };
+            let t = if k0 < k1 { Some(ctx.get(&b_arr, k0 * n, (k1 - k0) * n)) } else { None };
             ctx.sync();
             t.map(|t| ctx.take(t)).unwrap_or_default()
         };
@@ -169,7 +167,11 @@ pub fn run_sim(machine: &SimMachine, a: &Matrix, b: &Matrix) -> MatMulRun {
 }
 
 /// Run on the native thread machine.
-pub fn run_threads(machine: &ThreadMachine, a: &Matrix, b: &Matrix) -> (Matrix, ThreadRunResult<Vec<f64>>) {
+pub fn run_threads(
+    machine: &ThreadMachine,
+    a: &Matrix,
+    b: &Matrix,
+) -> (Matrix, ThreadRunResult<Vec<f64>>) {
     let n = a.n;
     let run = machine.run(|ctx| program(ctx, a, b));
     let data: Vec<f64> = run.outputs.iter().flatten().copied().collect();

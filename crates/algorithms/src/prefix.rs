@@ -97,7 +97,10 @@ pub fn run_sim(machine: &SimMachine, input: &[u64]) -> PrefixRun {
 }
 
 /// Run on the native thread machine.
-pub fn run_threads(machine: &ThreadMachine, input: &[u64]) -> (Vec<u64>, ThreadRunResult<Vec<u64>>) {
+pub fn run_threads(
+    machine: &ThreadMachine,
+    input: &[u64],
+) -> (Vec<u64>, ThreadRunResult<Vec<u64>>) {
     let run = machine.run(|ctx| program(ctx, input));
     let output = run.outputs.iter().flatten().copied().collect();
     (output, run)
@@ -159,10 +162,7 @@ mod tests {
         let small = run_sim(&m, &random_u64s(1 << 10, 4)).comm();
         let large = run_sim(&m, &random_u64s(1 << 16, 4)).comm();
         let ratio = large / small;
-        assert!(
-            (0.8..1.2).contains(&ratio),
-            "comm should be flat in n: {small} -> {large}"
-        );
+        assert!((0.8..1.2).contains(&ratio), "comm should be flat in n: {small} -> {large}");
     }
 
     #[test]

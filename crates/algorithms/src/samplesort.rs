@@ -171,11 +171,7 @@ fn program(ctx: &mut Ctx, input: &[u32], c: f64) -> ProcOutcome {
     ctx.charge(bucket.len() as u64);
     ctx.sync();
 
-    ProcOutcome {
-        local_sorted: ctx.local_vec(&s),
-        bucket_size,
-        own_contribution,
-    }
+    ProcOutcome { local_sorted: ctx.local_vec(&s), bucket_size, own_contribution }
 }
 
 /// Result of a simulated sample-sort run.
@@ -242,7 +238,8 @@ pub fn run_threads(
 pub fn qsm_comm(n: usize, b: f64, r: f64, c: f64, params: &EffectiveParams) -> f64 {
     let p = params.p as f64;
     let spp = samples_per_proc(n, c) as f64;
-    let broadcasts = (p - 1.0) * (spp /* samples (u32) */ + 4.0 /* counts (2 u64) */ + 2.0 /* btotal */);
+    let broadcasts =
+        (p - 1.0) * (spp /* samples (u32) */ + 4.0 /* counts (2 u64) */ + 2.0/* btotal */);
     params.g_put * (broadcasts + b) + params.g_get * (b * r)
 }
 
@@ -272,7 +269,12 @@ pub fn predict_whp(n: usize, c: f64, params: &EffectiveParams) -> Prediction {
 }
 
 /// Estimate using the skews actually measured in a run.
-pub fn predict_estimate(n: usize, run: &SampleSortRun, c: f64, params: &EffectiveParams) -> Prediction {
+pub fn predict_estimate(
+    n: usize,
+    run: &SampleSortRun,
+    c: f64,
+    params: &EffectiveParams,
+) -> Prediction {
     let qsm = qsm_comm(n, run.b_max as f64, run.r_max, c, params);
     Prediction::from_qsm(qsm, PAPER_PHASES, params)
 }

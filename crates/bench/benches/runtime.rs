@@ -15,9 +15,7 @@ fn bench_network_transmit(c: &mut Criterion) {
         g.throughput(Throughput::Elements(msgs as u64));
         g.bench_function(BenchmarkId::new("all_to_all", msgs), |b| {
             let injections: Vec<Injection> = (0..msgs)
-                .map(|i| {
-                    Injection::new(i % 16, (i * 7 + 1) % 16, 64, Cycles::ZERO, MsgKind::Other)
-                })
+                .map(|i| Injection::new(i % 16, (i * 7 + 1) % 16, 64, Cycles::ZERO, MsgKind::Other))
                 .collect();
             b.iter(|| {
                 let mut net = Network::new(16, MachineConfig::paper_default(16).net);
@@ -64,8 +62,7 @@ fn bench_put_stream(c: &mut Criterion) {
             b.iter(|| {
                 machine.run(|ctx| {
                     let p = ctx.nprocs();
-                    let arr =
-                        ctx.register::<u32>("stream", words * p, Layout::Block);
+                    let arr = ctx.register::<u32>("stream", words * p, Layout::Block);
                     ctx.sync();
                     let dst = (ctx.proc_id() + 1) % p;
                     let base = ctx.local_range(&arr).len() * dst;

@@ -69,7 +69,6 @@ pub fn run(cfg: &RunCfg) -> Report {
     let words = if cfg.fast { 2_000 } else { 20_000 };
     let p = cfg.p;
 
-    let mut rows = Vec::new();
     // Two library regimes: the calibrated (CPU-heavy, Table 3)
     // library damps scheduling effects; a lean library (small
     // per-word software cost) exposes the network, where the
@@ -81,9 +80,30 @@ pub fn run(cfg: &RunCfg) -> Report {
     lean_sw.copy_per_word_send = 1.0;
     lean_sw.copy_per_word_recv = 1.0;
     let lean = MachineConfig::paper_default(p).with_software(lean_sw);
-    for (label, cfg) in [("calibrated library", calibrated), ("lean library", lean)] {
-        let latin = all_to_all_comm(cfg, words, ExchangeOrder::LatinSquare);
-        let sweep = all_to_all_comm(cfg, words, ExchangeOrder::DirectSweep);
+
+    // All six measurements are independent simulations; fan them
+    // across the sweep pool and assemble the table (whose rows
+    // reference their regime's baseline) serially afterwards.
+    enum Job {
+        A2a(MachineConfig, ExchangeOrder),
+        Skew(Layout),
+    }
+    let jobs = vec![
+        Job::A2a(calibrated, ExchangeOrder::LatinSquare),
+        Job::A2a(calibrated, ExchangeOrder::DirectSweep),
+        Job::A2a(lean, ExchangeOrder::LatinSquare),
+        Job::A2a(lean, ExchangeOrder::DirectSweep),
+        Job::Skew(Layout::Hashed),
+        Job::Skew(Layout::Block),
+    ];
+    let times = crate::sweep::map(p, jobs, |_, job| match job {
+        Job::A2a(mc, order) => all_to_all_comm(mc, words, order),
+        Job::Skew(layout) => skewed_comm(p, words, layout),
+    });
+
+    let mut rows = Vec::new();
+    for (i, label) in ["calibrated library", "lean library"].into_iter().enumerate() {
+        let (latin, sweep) = (times[2 * i], times[2 * i + 1]);
         rows.push(vec![
             format!("exchange schedule ({label})"),
             "latin square (paper)".into(),
@@ -98,8 +118,7 @@ pub fn run(cfg: &RunCfg) -> Report {
         ]);
     }
 
-    let hashed = skewed_comm(p, words, Layout::Hashed);
-    let block = skewed_comm(p, words, Layout::Block);
+    let (hashed, block) = (times[4], times[5]);
     rows.push(vec![
         "skewed writes".into(),
         "hashed layout (QSM contract)".into(),
@@ -133,10 +152,7 @@ mod tests {
         let cfg = MachineConfig::paper_default(8);
         let latin = all_to_all_comm(cfg, 4_000, ExchangeOrder::LatinSquare);
         let sweep = all_to_all_comm(cfg, 4_000, ExchangeOrder::DirectSweep);
-        assert!(
-            sweep > 1.05 * latin,
-            "naive sweep {sweep} should exceed latin square {latin}"
-        );
+        assert!(sweep > 1.05 * latin, "naive sweep {sweep} should exceed latin square {latin}");
         // Lean library: the network dominates and the hot receiver
         // hurts badly.
         let mut sw = qsm_simnet::SoftwareConfig::calibrated();
@@ -157,10 +173,7 @@ mod tests {
     fn hashed_layout_tames_hot_module() {
         let hashed = skewed_comm(8, 4_000, Layout::Hashed);
         let block = skewed_comm(8, 4_000, Layout::Block);
-        assert!(
-            block > 1.5 * hashed,
-            "hot module {block} should be well above hashed {hashed}"
-        );
+        assert!(block > 1.5 * hashed, "hot module {block} should be well above hashed {hashed}");
     }
 
     #[test]
@@ -184,7 +197,7 @@ mod tests {
     }
 
     #[test]
-    fn report_renders(){
+    fn report_renders() {
         let rep = run(&RunCfg::fast());
         assert_eq!(rep.csv.lines().count(), 7); // header + 2 regimes x 2 + layout x 2
         assert!(rep.text.contains("latin square"));

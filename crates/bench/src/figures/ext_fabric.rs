@@ -38,21 +38,29 @@ pub fn fabric_gaps(p: usize) -> Vec<Option<f64>> {
 pub fn run(cfg: &RunCfg) -> Report {
     let n = if cfg.fast { 1 << 14 } else { 1 << 17 };
     let input = gen::random_u32s(n, 0xFAB);
-    let mut rows = Vec::new();
-    let mut baseline = None;
-    for fabric in fabric_gaps(cfg.p) {
+    // Every fabric provisioning is an independent simulation of the
+    // same input; the baseline row is simply the first result, so
+    // ratios are computed after the fan-out.
+    let gaps = fabric_gaps(cfg.p);
+    let comms = crate::sweep::map(cfg.p, gaps.clone(), |_, fabric| {
         let mut machine_cfg = MachineConfig::paper_default(cfg.p);
         if let Some(f) = fabric {
             machine_cfg = machine_cfg.with_fabric(f);
         }
-        let comm = samplesort::run_sim(&SimMachine::new(machine_cfg), &input).comm();
-        let base = *baseline.get_or_insert(comm);
-        rows.push(vec![
-            fabric.map(|f| format!("{f:.3}")).unwrap_or_else(|| "none (paper)".into()),
-            format!("{:.1}", us_at_400mhz(comm)),
-            format!("{:.2}", comm / base),
-        ]);
-    }
+        samplesort::run_sim(&SimMachine::new(machine_cfg), &input).comm()
+    });
+    let base = comms[0];
+    let rows: Vec<Vec<String>> = gaps
+        .iter()
+        .zip(&comms)
+        .map(|(fabric, &comm)| {
+            vec![
+                fabric.map(|f| format!("{f:.3}")).unwrap_or_else(|| "none (paper)".into()),
+                format!("{:.1}", us_at_400mhz(comm)),
+                format!("{:.2}", comm / base),
+            ]
+        })
+        .collect();
     let headers = ["fabric_gap_cyc_per_byte", "comm_us", "vs_no_fabric"];
     Report {
         id: "ext_fabric",

@@ -56,8 +56,9 @@ fn measure(p: usize, hot: bool) -> f64 {
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
     let ps: Vec<usize> = if cfg.fast { vec![2, 4, 8] } else { vec![2, 4, 8, 16] };
-    let mut rows = Vec::new();
-    for &p in &ps {
+    // Rows are fully independent per machine size — each one is its
+    // own sweep point (calibration plus both measurements).
+    let rows = crate::sweep::map(cfg.p, ps, |_, p| {
         let params = EffectiveParams::measure(MachineConfig::paper_default(p));
         // Model lines (communication only, plus the per-phase L that
         // both share): QSM charges the issuer's words; s-QSM charges
@@ -66,15 +67,15 @@ pub fn run(cfg: &RunCfg) -> Report {
         let sqsm = params.g_get * (M * p) as f64 + params.l_sync;
         let hot = measure(p, true);
         let spread = measure(p, false);
-        rows.push(vec![
+        vec![
             p.to_string(),
             format!("{:.1}", us_at_400mhz(spread)),
             format!("{:.1}", us_at_400mhz(hot)),
             format!("{:.1}", us_at_400mhz(qsm)),
             format!("{:.1}", us_at_400mhz(sqsm)),
             format!("{:.2}", hot / sqsm),
-        ]);
-    }
+        ]
+    });
     let headers = ["p", "spread_us", "hotspot_us", "qsm_pred_us", "sqsm_pred_us", "hot_vs_sqsm"];
     Report {
         id: "ext_hotspot",
@@ -96,8 +97,7 @@ mod tests {
         let col = |l: &str, i: usize| l.split(',').nth(i).unwrap().parse::<f64>().unwrap();
         let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
         // Hot-spot time grows ~linearly in p...
-        let pts: Vec<(f64, f64)> =
-            lines.iter().map(|l| (col(l, 0), col(l, 2))).collect();
+        let pts: Vec<(f64, f64)> = lines.iter().map(|l| (col(l, 0), col(l, 2))).collect();
         let (slope, _) = linear_fit(&pts);
         assert!(slope > 0.0, "hot-spot time must grow with p");
         // ...tracking s-QSM within a factor ~2 at every p...

@@ -31,9 +31,10 @@ pub fn run(cfg: &RunCfg) -> Report {
     let n = if cfg.fast { 1 << 14 } else { 1 << 17 };
     let input = gen::random_u32s(n, 0x57A6);
     let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
-    let mut rows = Vec::new();
-    let mut baseline_pred = 0.0;
-    for (i, &factor) in FACTORS.iter().enumerate() {
+    // Each slowdown factor is an independent simulation of the same
+    // input; the pred_drift column references factor 1.0's prediction,
+    // so fan out the measurements and build the rows afterwards.
+    let points = crate::sweep::map(cfg.p, FACTORS.to_vec(), |_, factor| {
         let mut machine_cfg = MachineConfig::paper_default(cfg.p);
         if factor > 1.0 {
             machine_cfg = machine_cfg.with_straggler(0, factor);
@@ -50,17 +51,21 @@ pub fn run(cfg: &RunCfg) -> Report {
                 .iter()
                 .map(|ph| ph.m_op as f64)
                 .sum::<f64>();
-        if i == 0 {
-            baseline_pred = predicted;
-        }
-        rows.push(vec![
-            format!("{factor:.1}"),
-            format!("{:.1}", us_at_400mhz(measured)),
-            format!("{:.1}", us_at_400mhz(predicted)),
-            format!("{:.3}", predicted / baseline_pred),
-            format!("{:.2}", measured / predicted),
-        ]);
-    }
+        (factor, measured, predicted)
+    });
+    let baseline_pred = points[0].2;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(factor, measured, predicted)| {
+            vec![
+                format!("{factor:.1}"),
+                format!("{:.1}", us_at_400mhz(measured)),
+                format!("{:.1}", us_at_400mhz(predicted)),
+                format!("{:.3}", predicted / baseline_pred),
+                format!("{:.2}", measured / predicted),
+            ]
+        })
+        .collect();
     let headers =
         ["straggler_factor", "measured_us", "model_pred_us", "pred_drift", "measured_over_pred"];
     Report {

@@ -22,8 +22,11 @@ pub fn run(cfg: &RunCfg) -> Report {
     let params = EffectiveParams::measure(machine_cfg);
     let pred = prefix::predict(&params);
 
-    let mut rows = Vec::new();
-    for (point, n) in cfg.sizes().into_iter().enumerate() {
+    // Each problem size is an independent measurement point: fan them
+    // across the sweep pool. Seeds stay keyed on (point, rep) and
+    // results come back in size order, so the table is byte-identical
+    // to a serial run.
+    let rows = crate::sweep::map(cfg.p, cfg.sizes(), |point, n| {
         let mut totals = Vec::new();
         let mut comms = Vec::new();
         for rep in 0..cfg.reps {
@@ -34,15 +37,15 @@ pub fn run(cfg: &RunCfg) -> Report {
             totals.push(run.total());
             comms.push(run.comm());
         }
-        rows.push(vec![
+        vec![
             n.to_string(),
             format!("{:.1}", us_at_400mhz(mean(&totals))),
             format!("{:.1}", us_at_400mhz(mean(&comms))),
             format!("{:.1}", rel_stddev_pct(&comms)),
             format!("{:.1}", us_at_400mhz(pred.qsm)),
             format!("{:.1}", us_at_400mhz(pred.bsp)),
-        ]);
-    }
+        ]
+    });
 
     let headers = ["n", "total_us", "comm_us", "comm_sd_pct", "qsm_pred_us", "bsp_pred_us"];
     Report {

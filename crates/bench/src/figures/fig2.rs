@@ -9,8 +9,8 @@
 //! roughly 125 000 elements (8 000 per processor).
 
 use qsm_algorithms::analysis::{relative_error, EffectiveParams};
-use qsm_algorithms::samplesort::{self, DEFAULT_OVERSAMPLING};
 use qsm_algorithms::gen;
+use qsm_algorithms::samplesort::{self, DEFAULT_OVERSAMPLING};
 use qsm_core::SimMachine;
 use qsm_simnet::MachineConfig;
 
@@ -23,8 +23,9 @@ pub fn run(cfg: &RunCfg) -> Report {
     let machine_cfg = MachineConfig::paper_default(cfg.p);
     let params = EffectiveParams::measure(machine_cfg);
 
-    let mut rows = Vec::new();
-    for (point, n) in cfg.sizes().into_iter().enumerate() {
+    // Independent per size — fanned across the sweep pool with
+    // (point, rep)-keyed seeds; rows return in size order.
+    let rows = crate::sweep::map(cfg.p, cfg.sizes(), |point, n| {
         let mut totals = Vec::new();
         let mut comms = Vec::new();
         let mut ests = Vec::new();
@@ -42,7 +43,7 @@ pub fn run(cfg: &RunCfg) -> Report {
         let comm = mean(&comms);
         let qsm_est = mean(&ests.iter().map(|e| e.qsm).collect::<Vec<_>>());
         let bsp_est = mean(&ests.iter().map(|e| e.bsp).collect::<Vec<_>>());
-        rows.push(vec![
+        vec![
             n.to_string(),
             format!("{:.1}", us_at_400mhz(mean(&totals))),
             format!("{:.1}", us_at_400mhz(comm)),
@@ -51,8 +52,8 @@ pub fn run(cfg: &RunCfg) -> Report {
             format!("{:.1}", us_at_400mhz(qsm_est)),
             format!("{:.1}", us_at_400mhz(bsp_est)),
             format!("{:.1}", 100.0 * relative_error(comm, qsm_est)),
-        ]);
-    }
+        ]
+    });
 
     let headers = [
         "n",

@@ -19,8 +19,9 @@ pub fn run(cfg: &RunCfg) -> Report {
     let machine_cfg = MachineConfig::paper_default(cfg.p);
     let params = EffectiveParams::measure(machine_cfg);
 
-    let mut rows = Vec::new();
-    for (point, n) in cfg.sizes().into_iter().enumerate() {
+    // Independent per size — fanned across the sweep pool with
+    // (point, rep)-keyed seeds; rows return in size order.
+    let rows = crate::sweep::map(cfg.p, cfg.sizes(), |point, n| {
         let mut totals = Vec::new();
         let mut comms = Vec::new();
         let mut est_qsm = Vec::new();
@@ -40,7 +41,7 @@ pub fn run(cfg: &RunCfg) -> Report {
         let whp = listrank::predict_whp(n, &params);
         let comm = mean(&comms);
         let qsm_est = mean(&est_qsm);
-        rows.push(vec![
+        vec![
             n.to_string(),
             format!("{:.1}", us_at_400mhz(mean(&totals))),
             format!("{:.1}", us_at_400mhz(comm)),
@@ -49,8 +50,8 @@ pub fn run(cfg: &RunCfg) -> Report {
             format!("{:.1}", us_at_400mhz(qsm_est)),
             format!("{:.1}", us_at_400mhz(mean(&est_bsp))),
             format!("{:.1}", 100.0 * relative_error(comm, qsm_est)),
-        ]);
-    }
+        ]
+    });
 
     let headers = [
         "n",

@@ -30,22 +30,29 @@ pub fn run(cfg: &RunCfg) -> Report {
     // QSM does not model latency, so its lines must not move.
     let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
 
-    let mut rows = Vec::new();
+    // Flatten the (latency × size) grid into one sweep: every cell is
+    // an independent measurement whose seed is keyed on its size
+    // index, so the fan-out returns rows in the original nested-loop
+    // order regardless of worker count.
+    let mut grid = Vec::new();
     for l in latencies(cfg.fast) {
-        let machine_cfg = MachineConfig::paper_default(cfg.p).with_latency(l);
         for (point, n) in cfg.sizes().into_iter().enumerate() {
-            let comm = samplesort_comm(machine_cfg, n, cfg, point);
-            let best = samplesort::predict_best(n, DEFAULT_OVERSAMPLING, &params);
-            let whp = samplesort::predict_whp(n, DEFAULT_OVERSAMPLING, &params);
-            rows.push(vec![
-                format!("{l:.0}"),
-                n.to_string(),
-                format!("{:.1}", us_at_400mhz(comm)),
-                format!("{:.1}", us_at_400mhz(best.qsm)),
-                format!("{:.1}", us_at_400mhz(whp.qsm)),
-            ]);
+            grid.push((l, point, n));
         }
     }
+    let rows = crate::sweep::map(cfg.p, grid, |_, (l, point, n)| {
+        let machine_cfg = MachineConfig::paper_default(cfg.p).with_latency(l);
+        let comm = samplesort_comm(machine_cfg, n, cfg, point);
+        let best = samplesort::predict_best(n, DEFAULT_OVERSAMPLING, &params);
+        let whp = samplesort::predict_whp(n, DEFAULT_OVERSAMPLING, &params);
+        vec![
+            format!("{l:.0}"),
+            n.to_string(),
+            format!("{:.1}", us_at_400mhz(comm)),
+            format!("{:.1}", us_at_400mhz(best.qsm)),
+            format!("{:.1}", us_at_400mhz(whp.qsm)),
+        ]
+    });
 
     let headers = ["latency_cyc", "n", "comm_us", "best_qsm_us", "whp_qsm_us"];
     Report {

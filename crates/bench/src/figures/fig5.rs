@@ -18,14 +18,14 @@ use crate::{Report, RunCfg};
 /// Compute the crossover points for every latency. Returns
 /// `(l, Some(n_cross))` rows.
 pub fn crossovers(cfg: &RunCfg) -> Vec<(f64, Option<f64>)> {
-    fig4::latencies(cfg.fast)
-        .into_iter()
-        .map(|l| {
-            let machine_cfg = MachineConfig::paper_default(cfg.p).with_latency(l);
-            let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
-            (l, samplesort_crossover(machine_cfg, cfg, &params))
-        })
-        .collect()
+    // The prediction band comes from the default machine and is the
+    // same for every latency; each latency's doubling scan is then an
+    // independent sweep point.
+    let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
+    crate::sweep::map(cfg.p, fig4::latencies(cfg.fast), |_, l| {
+        let machine_cfg = MachineConfig::paper_default(cfg.p).with_latency(l);
+        (l, samplesort_crossover(machine_cfg, cfg, &params))
+    })
 }
 
 /// Run the experiment.
@@ -36,7 +36,11 @@ pub fn run(cfg: &RunCfg) -> Report {
     for (l, cross) in &points {
         match cross {
             Some(n) => {
-                rows.push(vec![format!("{l:.0}"), format!("{n:.0}"), format!("{:.0}", n / cfg.p as f64)]);
+                rows.push(vec![
+                    format!("{l:.0}"),
+                    format!("{n:.0}"),
+                    format!("{:.0}", n / cfg.p as f64),
+                ]);
                 fit_pts.push((*l, *n));
             }
             None => rows.push(vec![format!("{l:.0}"), "beyond sweep".into(), "-".into()]),
@@ -66,16 +70,11 @@ mod tests {
     fn crossover_grows_with_latency() {
         let cfg = RunCfg::fast();
         let pts = crossovers(&cfg);
-        let found: Vec<(f64, f64)> =
-            pts.iter().filter_map(|(l, c)| c.map(|n| (*l, n))).collect();
+        let found: Vec<(f64, f64)> = pts.iter().filter_map(|(l, c)| c.map(|n| (*l, n))).collect();
         assert!(found.len() >= 2, "crossovers should exist in the sweep: {pts:?}");
         // Monotone non-decreasing in l.
         for w in found.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1 * 0.9,
-                "crossover shrank with latency: {:?}",
-                found
-            );
+            assert!(w[1].1 >= w[0].1 * 0.9, "crossover shrank with latency: {:?}", found);
         }
     }
 }

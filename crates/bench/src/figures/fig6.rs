@@ -24,14 +24,13 @@ pub fn overheads(fast: bool) -> Vec<f64> {
 
 /// Compute the crossover points for every overhead value.
 pub fn crossovers(cfg: &RunCfg) -> Vec<(f64, Option<f64>)> {
-    overheads(cfg.fast)
-        .into_iter()
-        .map(|o| {
-            let machine_cfg = MachineConfig::paper_default(cfg.p).with_overhead(o);
-            let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
-            (o, samplesort_crossover(machine_cfg, cfg, &params))
-        })
-        .collect()
+    // Same structure as fig5: one prediction band, independent
+    // doubling scans per overhead value.
+    let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
+    crate::sweep::map(cfg.p, overheads(cfg.fast), |_, o| {
+        let machine_cfg = MachineConfig::paper_default(cfg.p).with_overhead(o);
+        (o, samplesort_crossover(machine_cfg, cfg, &params))
+    })
 }
 
 /// Run the experiment.
@@ -42,7 +41,11 @@ pub fn run(cfg: &RunCfg) -> Report {
     for (o, cross) in &points {
         match cross {
             Some(n) => {
-                rows.push(vec![format!("{o:.0}"), format!("{n:.0}"), format!("{:.0}", n / cfg.p as f64)]);
+                rows.push(vec![
+                    format!("{o:.0}"),
+                    format!("{n:.0}"),
+                    format!("{:.0}", n / cfg.p as f64),
+                ]);
                 fit_pts.push((*o, *n));
             }
             None => rows.push(vec![format!("{o:.0}"), "beyond sweep".into(), "-".into()]),
@@ -72,15 +75,10 @@ mod tests {
     fn crossover_grows_with_overhead() {
         let cfg = RunCfg::fast();
         let pts = crossovers(&cfg);
-        let found: Vec<(f64, f64)> =
-            pts.iter().filter_map(|(o, c)| c.map(|n| (*o, n))).collect();
+        let found: Vec<(f64, f64)> = pts.iter().filter_map(|(o, c)| c.map(|n| (*o, n))).collect();
         assert!(found.len() >= 2, "crossovers should exist in the sweep: {pts:?}");
         for w in found.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1 * 0.9,
-                "crossover shrank with overhead: {:?}",
-                found
-            );
+            assert!(w[1].1 >= w[0].1 * 0.9, "crossover shrank with overhead: {:?}", found);
         }
     }
 }

@@ -30,29 +30,41 @@ pub fn run(cfg: &RunCfg) -> Report {
         vec![
             "Gap g (bandwidth)".into(),
             format!("{} cycles/byte", machine_cfg.net.gap_per_byte),
-            format!("{:.1} cycles/byte (put), {:.1} cycles/byte (get)",
-                costs.put_cycles_per_byte(), costs.get_cycles_per_byte()),
+            format!(
+                "{:.1} cycles/byte (put), {:.1} cycles/byte (get)",
+                costs.put_cycles_per_byte(),
+                costs.get_cycles_per_byte()
+            ),
             format!("{PAPER_PUT_CPB} (put), {PAPER_GET_CPB} (get)"),
         ],
         vec![
             "Per-message overhead o".into(),
-            format!("{:.0} cycles ({:.0} us)",
-                machine_cfg.net.send_overhead, us_at_400mhz(machine_cfg.net.send_overhead)),
+            format!(
+                "{:.0} cycles ({:.0} us)",
+                machine_cfg.net.send_overhead,
+                us_at_400mhz(machine_cfg.net.send_overhead)
+            ),
             "N/A (hidden by batching)".into(),
             "N/A".into(),
         ],
         vec![
             "Latency l".into(),
-            format!("{:.0} cycles ({:.0} us)",
-                machine_cfg.net.latency, us_at_400mhz(machine_cfg.net.latency)),
+            format!(
+                "{:.0} cycles ({:.0} us)",
+                machine_cfg.net.latency,
+                us_at_400mhz(machine_cfg.net.latency)
+            ),
             "N/A (hidden by pipelining)".into(),
             "N/A".into(),
         ],
         vec![
             "Synchronization barrier L".into(),
             "N/A".into(),
-            format!("{:.0} cycles (16 processors) ({:.0} us)",
-                costs.empty_sync, us_at_400mhz(costs.empty_sync)),
+            format!(
+                "{:.0} cycles (16 processors) ({:.0} us)",
+                costs.empty_sync,
+                us_at_400mhz(costs.empty_sync)
+            ),
             format!("{PAPER_L:.0} cycles (64 us)"),
         ],
     ];

@@ -51,12 +51,7 @@ pub fn fit_model(cfg: &RunCfg) -> Option<NminModel> {
     }
     let (slope_l, _) = linear_fit(&l_pts);
     let (slope_o, _) = linear_fit(&o_pts);
-    Some(NminModel::fit(
-        &base,
-        base_cross / cfg.p as f64,
-        slope_l.max(0.0),
-        slope_o.max(0.0),
-    ))
+    Some(NminModel::fit(&base, base_cross / cfg.p as f64, slope_l.max(0.0), slope_o.max(0.0)))
 }
 
 /// Run the experiment.
@@ -86,8 +81,16 @@ pub fn run(cfg: &RunCfg) -> Report {
             paper,
         ]);
     }
-    let headers =
-        ["architecture", "p", "l_cyc", "o_cyc", "g_cyc_per_byte", "nmin_per_p", "nmin", "paper_nmin_per_p"];
+    let headers = [
+        "architecture",
+        "p",
+        "l_cyc",
+        "o_cyc",
+        "g_cyc_per_byte",
+        "nmin_per_p",
+        "nmin",
+        "paper_nmin_per_p",
+    ];
     let mut text = table(&headers, &rows);
     if let Some(mdl) = &model {
         text.push_str(&format!(

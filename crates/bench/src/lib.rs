@@ -15,13 +15,17 @@
 //! Environment knobs: `QSM_FAST=1` shrinks sweeps for smoke runs,
 //! `QSM_REPS=k` overrides the repetition count (default 3; the paper
 //! used 10), `QSM_RESULTS_DIR` redirects the CSV output directory
-//! (default `./results`).
+//! (default `./results`), and `QSM_JOBS=k` sizes the [`sweep`] worker
+//! pool that runs independent measurement points concurrently
+//! (default `available_parallelism() / p`; `QSM_JOBS=1` is fully
+//! serial). Results are identical for every `QSM_JOBS` value.
 
 #![deny(missing_docs)]
 
 pub mod figures;
 pub mod output;
 pub mod stats;
+pub mod sweep;
 
 use std::path::PathBuf;
 
@@ -40,10 +44,11 @@ impl RunCfg {
     /// Read configuration from the environment.
     pub fn from_env() -> Self {
         let fast = std::env::var("QSM_FAST").map(|v| v != "0").unwrap_or(false);
-        let reps = std::env::var("QSM_REPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if fast { 1 } else { 3 });
+        let reps = std::env::var("QSM_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(if fast {
+            1
+        } else {
+            3
+        });
         Self { p: 16, reps, fast }
     }
 
@@ -60,9 +65,7 @@ impl RunCfg {
 
     /// Seed for repetition `rep` of a sweep point.
     pub fn seed(&self, point: usize, rep: usize) -> u64 {
-        0x1998_0021u64
-            .wrapping_add((point as u64) << 32)
-            .wrapping_add(rep as u64)
+        0x1998_0021u64.wrapping_add((point as u64) << 32).wrapping_add(rep as u64)
     }
 }
 
@@ -121,7 +124,9 @@ mod tests {
 
     #[test]
     fn fast_mode_shrinks_sweep() {
-        assert!(RunCfg::fast().sizes().len() < RunCfg { p: 16, reps: 3, fast: false }.sizes().len());
+        assert!(
+            RunCfg::fast().sizes().len() < RunCfg { p: 16, reps: 3, fast: false }.sizes().len()
+        );
     }
 
     #[test]

@@ -20,8 +20,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         .map(|c| {
             rows.iter().all(|r| {
                 let s = r[c].trim();
-                !s.is_empty()
-                    && s.chars().all(|ch| ch.is_ascii_digit() || ".,-+%eE".contains(ch))
+                !s.is_empty() && s.chars().all(|ch| ch.is_ascii_digit() || ".,-+%eE".contains(ch))
             }) && !rows.is_empty()
         })
         .collect();
@@ -97,10 +96,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "123456".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "123456".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,39 @@
+//! The parallel sweep executor must be invisible in the results:
+//! whatever `QSM_JOBS` is set to, every figure's CSV must be
+//! byte-identical to the serial run, and repeat runs must replay the
+//! same simulated cycle counts exactly.
+//!
+//! This file contains exactly one `#[test]` on purpose: it mutates
+//! the process-wide `QSM_JOBS` variable, and a sibling test running
+//! concurrently in the same binary could observe the intermediate
+//! value.
+
+use qsm_bench::figures::fig4;
+use qsm_bench::RunCfg;
+
+#[test]
+fn fig4_is_byte_identical_across_job_counts_and_runs() {
+    // fig4 is the best canary: it crosses latency x size, exercises
+    // the randomized sample-sort path, and its seeds are keyed on the
+    // sweep-point index — exactly what must not depend on which
+    // worker executes which point.
+    let cfg = RunCfg::fast();
+
+    std::env::set_var("QSM_JOBS", "1");
+    let serial = fig4::run(&cfg);
+
+    std::env::set_var("QSM_JOBS", "4");
+    let parallel = fig4::run(&cfg);
+    let parallel_again = fig4::run(&cfg);
+    std::env::remove_var("QSM_JOBS");
+
+    assert_eq!(
+        serial.csv, parallel.csv,
+        "QSM_JOBS=4 must produce the byte-identical CSV of a serial run"
+    );
+    assert_eq!(serial.text, parallel.text);
+    assert_eq!(
+        parallel.csv, parallel_again.csv,
+        "repeat parallel runs must replay simulated cycles exactly"
+    );
+}

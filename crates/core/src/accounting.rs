@@ -94,9 +94,8 @@ impl CostReport {
 
     /// Assemble a report against explicit model parameters.
     pub fn build_with_models(p: usize, phases: &[PhaseRecord], models: ModelInputs) -> Self {
-        let profile = qsm_models::ProgramProfile {
-            phases: phases.iter().map(|r| r.profile).collect(),
-        };
+        let profile =
+            qsm_models::ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
         let measured_total: Cycles = phases.iter().map(|r| r.timing.elapsed).sum();
         let measured_compute: Cycles = phases.iter().map(|r| r.timing.compute).sum();
         let measured_comm: Cycles = phases.iter().map(|r| r.timing.comm).sum();
@@ -170,14 +169,7 @@ mod tests {
 
     fn record(m_op: u64, m_rw: u64, comm: f64) -> PhaseRecord {
         PhaseRecord {
-            profile: PhaseProfile {
-                m_op,
-                m_rw,
-                kappa: 1,
-                h_in: m_rw,
-                h_out: m_rw,
-                msgs: 1,
-            },
+            profile: PhaseProfile { m_op, m_rw, kappa: 1, h_in: m_rw, h_out: m_rw, msgs: 1 },
             timing: PhaseTiming {
                 elapsed: Cycles::new(m_op as f64 + comm),
                 compute: Cycles::new(m_op as f64),

@@ -73,19 +73,24 @@ pub fn owner(layout: Layout, id: ArrayId, len: usize, p: usize, idx: usize) -> u
     }
 }
 
-/// Split the global range `start..start+len` into maximal runs with a
-/// single cost owner, in ascending index order. Block layouts yield
-/// at most `p` runs; hashed layouts typically yield per-element runs.
-pub fn split_by_owner(
+/// Visit the maximal single-cost-owner runs of the global range
+/// `start..start+len` in ascending index order, as
+/// `(owner, run_start, run_len)` calls. Block layouts yield at most
+/// `p` runs; hashed layouts typically yield per-element runs.
+///
+/// This is the allocation-free core of [`split_by_owner`]; the
+/// driver's metering and put/get paths call it once per queued
+/// operation, so it must not build a `Vec` per call.
+pub fn for_each_owner_run(
     layout: Layout,
     id: ArrayId,
     array_len: usize,
     p: usize,
     start: usize,
     len: usize,
-) -> Vec<(usize, usize, usize)> {
+    mut visit: impl FnMut(usize, usize, usize),
+) {
     assert!(start + len <= array_len, "range {start}+{len} exceeds array {array_len}");
-    let mut runs: Vec<(usize, usize, usize)> = Vec::new();
     match layout {
         Layout::Block => {
             let mut i = start;
@@ -93,7 +98,7 @@ pub fn split_by_owner(
                 let o = block_owner(array_len, p, i);
                 let block_end = block_range(array_len, p, o).end;
                 let run_end = (start + len).min(block_end);
-                runs.push((o, i, run_end - i));
+                visit(o, i, run_end - i);
                 i = run_end;
             }
         }
@@ -105,11 +110,26 @@ pub fn split_by_owner(
                 while j < start + len && owner(layout, id, array_len, p, j) == o {
                     j += 1;
                 }
-                runs.push((o, i, j - i));
+                visit(o, i, j - i);
                 i = j;
             }
         }
     }
+}
+
+/// [`for_each_owner_run`] collected into a fresh `Vec`. Convenient
+/// for tests and one-off callers; hot paths should use the visitor
+/// form directly.
+pub fn split_by_owner(
+    layout: Layout,
+    id: ArrayId,
+    array_len: usize,
+    p: usize,
+    start: usize,
+    len: usize,
+) -> Vec<(usize, usize, usize)> {
+    let mut runs: Vec<(usize, usize, usize)> = Vec::new();
+    for_each_owner_run(layout, id, array_len, p, start, len, |o, s, l| runs.push((o, s, l)));
     runs
 }
 

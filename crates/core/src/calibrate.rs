@@ -148,7 +148,7 @@ mod tests {
             for k in 0..words {
                 let s = EffectiveCosts::slot(src, p, words, k);
                 assert!(s < EffectiveCosts::slots(p, words), "slot {s} out of range");
-                assert!(seen.insert((src, s)) , "source {src} reused slot {s}");
+                assert!(seen.insert((src, s)), "source {src} reused slot {s}");
             }
         }
         // Cross-source disjointness: no slot owned by two sources.

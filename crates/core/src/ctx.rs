@@ -191,10 +191,8 @@ impl Ctx {
             self.proc,
             ticket.issued_phase
         );
-        let raw = self
-            .results
-            .remove(&ticket.id)
-            .expect("get result missing (ticket already taken?)");
+        let raw =
+            self.results.remove(&ticket.id).expect("get result missing (ticket already taken?)");
         debug_assert_eq!(raw.len(), ticket.len);
         raw.into_iter().map(T::from_raw).collect()
     }
@@ -225,7 +223,7 @@ impl Ctx {
             range,
             self.proc
         );
-        let seg = &self.store.segments[&arr.id];
+        let seg = self.store.segment(arr.id);
         seg[start - range.start..start - range.start + len]
             .iter()
             .map(|&r| T::from_raw(r))
@@ -250,7 +248,7 @@ impl Ctx {
             range,
             self.proc
         );
-        let seg = self.store.segments.get_mut(&arr.id).expect("segment missing");
+        let seg = self.store.segment_mut(arr.id);
         for (i, v) in data.iter().enumerate() {
             seg[start - range.start + i] = v.to_raw();
         }
@@ -279,19 +277,17 @@ impl Ctx {
         let first_new = self.next_array_id - regs.len() as u32;
         for (k, reg) in regs.into_iter().enumerate() {
             let id = ArrayId(first_new + k as u32);
-            self.store.infos.insert(
+            // The segment itself arrived positionally in the reply.
+            self.store.set_info(ArrayInfo {
                 id,
-                ArrayInfo {
-                    id,
-                    name: reg.name,
-                    len: reg.len,
-                    elem_bytes: reg.elem_bytes,
-                    layout: reg.layout,
-                },
-            );
+                name: reg.name,
+                len: reg.len,
+                elem_bytes: reg.elem_bytes,
+                layout: reg.layout,
+            });
         }
         for id in unregs {
-            self.store.infos.remove(&id);
+            self.store.remove(id);
         }
         self.phase += 1;
     }

@@ -11,13 +11,11 @@
 //! segments back. Ownership transfer through channels *is* the
 //! synchronization — the runtime contains no locks and no `unsafe`.
 
-use std::collections::HashMap;
-
 use crossbeam::channel::{Receiver, Sender};
 use qsm_models::PhaseProfile;
 use qsm_simnet::Cycles;
 
-use crate::addr::{split_by_owner, ArrayId, Layout};
+use crate::addr::{for_each_owner_run, ArrayId, Layout};
 use crate::ops::QueuedOps;
 use crate::shmem::{ArrayInfo, Registration, Segment};
 
@@ -37,19 +35,25 @@ pub(crate) enum WorkerMsg {
 }
 
 /// Everything a processor ships at `sync()`.
+///
+/// `segments` is dense, indexed by `ArrayId.0` (ids are assigned
+/// sequentially); arrays not live on this processor hold an empty
+/// `Vec`. The container round-trips driver → worker → driver every
+/// phase, so in steady state no segment table is ever reallocated.
 pub(crate) struct SyncPayload {
     pub proc: usize,
     pub charged: u64,
     pub ops: QueuedOps,
     pub regs: Vec<Registration>,
     pub unregs: Vec<ArrayId>,
-    pub segments: HashMap<ArrayId, Segment>,
+    pub segments: Vec<Segment>,
 }
 
-/// What the driver returns to each processor.
+/// What the driver returns to each processor. `segments` reuses the
+/// corresponding [`SyncPayload`]'s container.
 pub(crate) struct DriverReply {
-    pub segments: HashMap<ArrayId, Segment>,
-    pub results: HashMap<u64, Vec<u64>>,
+    pub segments: Vec<Segment>,
+    pub results: Vec<(u64, Vec<u64>)>,
 }
 
 /// Aggregate traffic from one source processor to one cost owner in a
@@ -78,16 +82,30 @@ impl PairTraffic {
 }
 
 /// The per-phase (source, cost-owner) traffic matrix.
+///
+/// Maintains a dirty-pair list: [`CommMatrix::at_mut`] records each
+/// cell the first time it is borrowed mutably, so emptiness checks,
+/// whole-phase scans ([`CommMatrix::for_each_dirty`]) and
+/// [`CommMatrix::clear`] touch only the pairs a phase actually used
+/// instead of all `p²` cells. Most phases of real programs touch
+/// O(p) pairs.
 #[derive(Debug, Clone)]
 pub struct CommMatrix {
     p: usize,
     pairs: Vec<PairTraffic>,
+    touched: Vec<bool>,
+    dirty: Vec<u32>,
 }
 
 impl CommMatrix {
     /// An empty matrix for `p` processors.
     pub fn new(p: usize) -> Self {
-        Self { p, pairs: vec![PairTraffic::default(); p * p] }
+        Self {
+            p,
+            pairs: vec![PairTraffic::default(); p * p],
+            touched: vec![false; p * p],
+            dirty: Vec::new(),
+        }
     }
 
     /// Processor count.
@@ -100,14 +118,40 @@ impl CommMatrix {
         &self.pairs[src * self.p + dst]
     }
 
-    /// Mutable traffic cell.
+    /// Mutable traffic cell; marks the pair dirty.
     pub fn at_mut(&mut self, src: usize, dst: usize) -> &mut PairTraffic {
-        &mut self.pairs[src * self.p + dst]
+        let idx = src * self.p + dst;
+        if !self.touched[idx] {
+            self.touched[idx] = true;
+            self.dirty.push(idx as u32);
+        }
+        &mut self.pairs[idx]
     }
 
-    /// True when the whole phase moved no data.
+    /// True when the whole phase moved no data. Scans only the dirty
+    /// pairs, so an untouched matrix answers in O(1).
     pub fn is_empty(&self) -> bool {
-        self.pairs.iter().all(PairTraffic::is_empty)
+        self.dirty.iter().all(|&idx| self.pairs[idx as usize].is_empty())
+    }
+
+    /// Visit every dirty `(src, dst, traffic)` cell. Visit order is
+    /// first-touch order, which varies with program structure — use
+    /// only for order-insensitive accumulation; ordered consumers
+    /// (the exchange simulation) must index with [`CommMatrix::at`].
+    pub fn for_each_dirty(&self, mut visit: impl FnMut(usize, usize, &PairTraffic)) {
+        for &idx in &self.dirty {
+            let idx = idx as usize;
+            visit(idx / self.p, idx % self.p, &self.pairs[idx]);
+        }
+    }
+
+    /// Reset to the empty matrix, clearing only dirty cells.
+    pub fn clear(&mut self) {
+        for &idx in &self.dirty {
+            self.pairs[idx as usize] = PairTraffic::default();
+            self.touched[idx as usize] = false;
+        }
+        self.dirty.clear();
     }
 }
 
@@ -153,12 +197,29 @@ struct AccessRanges {
     writes: Vec<(usize, usize)>,
 }
 
+impl AccessRanges {
+    fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+}
+
 /// Sweep all access ranges of one array: returns the maximum queue
 /// depth κ at any single location, and panics on a read/write overlap
-/// when `check_conflicts` is set.
-fn sweep_kappa(name: &str, acc: &AccessRanges, check_conflicts: bool) -> u64 {
+/// when `check_conflicts` is set. `events` is caller-provided scratch
+/// (cleared here) so per-phase sweeps don't allocate.
+fn sweep_kappa(
+    name: &str,
+    acc: &AccessRanges,
+    check_conflicts: bool,
+    events: &mut Vec<(usize, bool, i64, i64)>,
+) -> u64 {
     // Events: (position, end-before-start flag, d_read, d_write).
-    let mut events: Vec<(usize, bool, i64, i64)> = Vec::new();
+    events.clear();
     for &(s, l) in &acc.reads {
         events.push((s, false, 1, 0));
         events.push((s + l, true, -1, 0));
@@ -191,16 +252,55 @@ fn sweep_kappa(name: &str, acc: &AccessRanges, check_conflicts: bool) -> u64 {
 }
 
 /// The driver's persistent state across phases.
+///
+/// All per-phase working storage lives here and is reused from phase
+/// to phase: metadata and memory tables are dense `Vec`s indexed by
+/// `ArrayId.0` (ids are sequential), and the metering scratch
+/// (matrix, counters, access ranges, κ event buffer) is cleared, not
+/// reallocated. In steady state `process_sync` performs no heap
+/// allocation beyond the get-result payloads it must hand out.
 pub(crate) struct Driver {
     p: usize,
     next_array_id: u32,
-    infos: HashMap<ArrayId, ArrayInfo>,
+    /// Dense by `ArrayId.0`; `None` = never registered/unregistered.
+    infos: Vec<Option<ArrayInfo>>,
     check_conflicts: bool,
+    /// Global memory between hand-backs: `mem[array][proc]`. Slots are
+    /// empty `Vec`s while workers hold the segments; the table shape
+    /// persists so no per-phase rebuild is needed.
+    mem: Vec<Vec<Segment>>,
+    // --- pooled per-phase scratch ---
+    matrix: CommMatrix,
+    m_rw: Vec<u64>,
+    h_in_words: Vec<u64>,
+    h_out_words: Vec<u64>,
+    data_msgs_by: Vec<u64>,
+    charged: Vec<u64>,
+    /// Dense by `ArrayId.0`, paired with the list of ids touched this
+    /// phase (so clearing skips untouched arrays).
+    accesses: Vec<AccessRanges>,
+    touched_arrays: Vec<u32>,
+    kappa_events: Vec<(usize, bool, i64, i64)>,
 }
 
 impl Driver {
     pub(crate) fn new(p: usize, check_conflicts: bool) -> Self {
-        Self { p, next_array_id: 0, infos: HashMap::new(), check_conflicts }
+        Self {
+            p,
+            next_array_id: 0,
+            infos: Vec::new(),
+            check_conflicts,
+            mem: Vec::new(),
+            matrix: CommMatrix::new(p),
+            m_rw: vec![0; p],
+            h_in_words: vec![0; p],
+            h_out_words: vec![0; p],
+            data_msgs_by: vec![0; p],
+            charged: vec![0; p],
+            accesses: Vec::new(),
+            touched_arrays: Vec::new(),
+            kappa_events: Vec::new(),
+        }
     }
 
     /// Run the driver loop until every worker reports `Finished`.
@@ -282,7 +382,8 @@ impl Driver {
         mut payloads: Vec<SyncPayload>,
         timer: &mut dyn SyncTimer,
     ) -> (Vec<DriverReply>, PhaseRecord) {
-        let p = self.p;
+        let this = &mut *self;
+        let p = this.p;
 
         // --- Collective registration / unregistration validation ---
         for i in 1..p {
@@ -301,8 +402,8 @@ impl Driver {
             .regs
             .iter()
             .map(|reg| {
-                let id = ArrayId(self.next_array_id);
-                self.next_array_id += 1;
+                let id = ArrayId(this.next_array_id);
+                this.next_array_id += 1;
                 ArrayInfo {
                     id,
                     name: reg.name.clone(),
@@ -315,84 +416,104 @@ impl Driver {
         let unregs = payloads[0].unregs.clone();
         for id in &unregs {
             assert!(
-                self.infos.contains_key(id),
+                this.infos.get(id.0 as usize).is_some_and(Option::is_some),
                 "unregister of unknown array {id:?} (double unregister?)"
             );
         }
 
-        // --- Assemble the global memory: mem[array][proc] ---
-        let mut mem: HashMap<ArrayId, Vec<Segment>> = HashMap::new();
-        for info in self.infos.values() {
-            mem.insert(info.id, (0..p).map(|_| Segment::new()).collect());
-        }
+        // --- Take ownership of the global memory: mem[array][proc].
+        // The table shape persists across phases; segments swap in
+        // here and swap back out at hand-back, leaving each payload's
+        // (also persistent) table empty in between.
         for payload in payloads.iter_mut() {
             let proc = payload.proc;
-            for (id, seg) in payload.segments.drain() {
-                mem.get_mut(&id)
-                    .unwrap_or_else(|| panic!("segment for unknown array {id:?}"))[proc] = seg;
+            debug_assert_eq!(payload.segments.len(), this.mem.len());
+            for (aidx, slot) in payload.segments.iter_mut().enumerate() {
+                std::mem::swap(slot, &mut this.mem[aidx][proc]);
             }
         }
 
         // --- Metering: comm matrix, per-proc counters, κ sweep ---
-        let mut matrix = CommMatrix::new(p);
-        let mut m_rw = vec![0u64; p];
-        let mut h_in_words = vec![0u64; p];
-        let mut h_out_words = vec![0u64; p];
-        let mut accesses: HashMap<ArrayId, AccessRanges> = HashMap::new();
+        debug_assert!(this.matrix.is_empty());
         for payload in &payloads {
             let src = payload.proc;
             for op in &payload.ops.puts {
-                let info = self.info_for_op(op.array, &new_arrays);
+                let info = info_for_op(&this.infos, &new_arrays, op.array);
                 let wpe = info.words_per_elem();
-                accesses.entry(op.array).or_default().writes.push((op.start, op.data.len()));
-                for (owner, _s, l) in split_by_owner(
+                let acc = &mut this.accesses[op.array.0 as usize];
+                if acc.is_empty() {
+                    this.touched_arrays.push(op.array.0);
+                }
+                acc.writes.push((op.start, op.data.len()));
+                let matrix = &mut this.matrix;
+                for_each_owner_run(
                     info.layout,
                     info.id,
                     info.len,
                     p,
                     op.start,
                     op.data.len(),
-                ) {
-                    let cell = matrix.at_mut(src, owner);
-                    // The library is word-granular, as in the paper:
-                    // every 4-byte word carries its own item header
-                    // and marshal/apply cost (this is why Table 3's
-                    // observed gap is an order of magnitude above the
-                    // hardware gap even for bulk transfers).
-                    cell.put_items += l as u64 * wpe;
-                    cell.put_words += l as u64 * wpe;
-                    cell.put_payload_bytes += l as u64 * info.elem_bytes;
-                }
-                m_rw[src] += op.data.len() as u64 * wpe;
+                    |owner, _s, l| {
+                        let cell = matrix.at_mut(src, owner);
+                        // The library is word-granular, as in the paper:
+                        // every 4-byte word carries its own item header
+                        // and marshal/apply cost (this is why Table 3's
+                        // observed gap is an order of magnitude above the
+                        // hardware gap even for bulk transfers).
+                        cell.put_items += l as u64 * wpe;
+                        cell.put_words += l as u64 * wpe;
+                        cell.put_payload_bytes += l as u64 * info.elem_bytes;
+                    },
+                );
+                this.m_rw[src] += op.data.len() as u64 * wpe;
             }
             for op in &payload.ops.gets {
-                let info = self.info_for_op(op.array, &new_arrays);
+                let info = info_for_op(&this.infos, &new_arrays, op.array);
                 let wpe = info.words_per_elem();
-                accesses.entry(op.array).or_default().reads.push((op.start, op.len));
-                for (owner, _s, l) in
-                    split_by_owner(info.layout, info.id, info.len, p, op.start, op.len)
-                {
-                    let cell = matrix.at_mut(src, owner);
-                    cell.get_items += l as u64 * wpe; // word-granular, see above
-                    cell.get_words += l as u64 * wpe;
-                    cell.get_reply_payload_bytes += l as u64 * info.elem_bytes;
+                let acc = &mut this.accesses[op.array.0 as usize];
+                if acc.is_empty() {
+                    this.touched_arrays.push(op.array.0);
                 }
-                m_rw[src] += op.len as u64 * wpe;
+                acc.reads.push((op.start, op.len));
+                let matrix = &mut this.matrix;
+                for_each_owner_run(
+                    info.layout,
+                    info.id,
+                    info.len,
+                    p,
+                    op.start,
+                    op.len,
+                    |owner, _s, l| {
+                        let cell = matrix.at_mut(src, owner);
+                        cell.get_items += l as u64 * wpe; // word-granular, see above
+                        cell.get_words += l as u64 * wpe;
+                        cell.get_reply_payload_bytes += l as u64 * info.elem_bytes;
+                    },
+                );
+                this.m_rw[src] += op.len as u64 * wpe;
             }
         }
         let mut kappa = 0u64;
-        for (id, acc) in &accesses {
-            let info = self.info_for_op(*id, &new_arrays);
-            kappa = kappa.max(sweep_kappa(&info.name, acc, self.check_conflicts));
+        this.touched_arrays.sort_unstable();
+        for &aid in &this.touched_arrays {
+            let info = info_for_op(&this.infos, &new_arrays, ArrayId(aid));
+            kappa = kappa.max(sweep_kappa(
+                &info.name,
+                &this.accesses[aid as usize],
+                this.check_conflicts,
+                &mut this.kappa_events,
+            ));
         }
 
-        // h and message counts from the matrix.
-        let mut data_msgs_by = vec![0u64; p];
+        // h and message counts from the matrix; only dirty pairs
+        // contribute, and every accumulation is order-insensitive.
         let mut data_msgs = 0u64;
         let mut payload_bytes = 0u64;
-        for src in 0..p {
-            for dst in 0..p {
-                let c = *matrix.at(src, dst);
+        {
+            let data_msgs_by = &mut this.data_msgs_by;
+            let h_in_words = &mut this.h_in_words;
+            let h_out_words = &mut this.h_out_words;
+            this.matrix.for_each_dirty(|src, dst, c| {
                 if c.put_items > 0 {
                     data_msgs_by[src] += 1;
                     data_msgs += 1;
@@ -408,97 +529,147 @@ impl Driver {
                 h_out_words[dst] += c.get_words;
                 h_in_words[src] += c.get_words;
                 payload_bytes += c.put_payload_bytes + c.get_reply_payload_bytes;
-            }
+            });
         }
 
         // --- Serve gets from the PRE-put state ---
-        let mut replies: Vec<DriverReply> = (0..p)
-            .map(|_| DriverReply { segments: HashMap::new(), results: HashMap::new() })
+        // Replies reuse the payloads' segment tables (now empty).
+        let mut replies: Vec<DriverReply> = payloads
+            .iter_mut()
+            .map(|pl| DriverReply {
+                segments: std::mem::take(&mut pl.segments),
+                results: Vec::new(),
+            })
             .collect();
         for payload in &payloads {
             for op in &payload.ops.gets {
-                let info = self.info_for_op(op.array, &new_arrays);
-                let segs = mem
-                    .get(&op.array)
-                    .unwrap_or_else(|| panic!("get from array '{}' before registration sync", info.name));
+                let info = info_for_op(&this.infos, &new_arrays, op.array);
+                let aidx = op.array.0 as usize;
+                assert!(
+                    aidx < this.mem.len(),
+                    "get from array '{}' before registration sync",
+                    info.name
+                );
+                let segs = &this.mem[aidx];
                 let mut out = Vec::with_capacity(op.len);
-                for (owner, s, l) in
-                    split_by_owner(Layout::Block, op.array, info.len, p, op.start, op.len)
-                {
-                    let base = crate::addr::block_range(info.len, p, owner).start;
-                    out.extend_from_slice(&segs[owner][s - base..s - base + l]);
-                }
-                replies[payload.proc].results.insert(op.ticket, out);
+                for_each_owner_run(
+                    Layout::Block,
+                    op.array,
+                    info.len,
+                    p,
+                    op.start,
+                    op.len,
+                    |owner, s, l| {
+                        let base = crate::addr::block_range(info.len, p, owner).start;
+                        out.extend_from_slice(&segs[owner][s - base..s - base + l]);
+                    },
+                );
+                replies[payload.proc].results.push((op.ticket, out));
             }
         }
 
         // --- Apply puts: processor order, then issue order ---
         for payload in &payloads {
             for op in &payload.ops.puts {
-                let info = self.info_for_op(op.array, &new_arrays);
-                let segs = mem
-                    .get_mut(&op.array)
-                    .unwrap_or_else(|| panic!("put to array '{}' before registration sync", info.name));
+                let info = info_for_op(&this.infos, &new_arrays, op.array);
+                let aidx = op.array.0 as usize;
+                assert!(
+                    aidx < this.mem.len(),
+                    "put to array '{}' before registration sync",
+                    info.name
+                );
+                let segs = &mut this.mem[aidx];
                 let mut off = 0usize;
-                for (owner, s, l) in
-                    split_by_owner(Layout::Block, op.array, info.len, p, op.start, op.data.len())
-                {
-                    let base = crate::addr::block_range(info.len, p, owner).start;
-                    segs[owner][s - base..s - base + l]
-                        .copy_from_slice(&op.data[off..off + l]);
-                    off += l;
-                }
+                for_each_owner_run(
+                    Layout::Block,
+                    op.array,
+                    info.len,
+                    p,
+                    op.start,
+                    op.data.len(),
+                    |owner, s, l| {
+                        let base = crate::addr::block_range(info.len, p, owner).start;
+                        segs[owner][s - base..s - base + l].copy_from_slice(&op.data[off..off + l]);
+                        off += l;
+                    },
+                );
             }
         }
 
         // --- Timing ---
-        let charged: Vec<u64> = payloads.iter().map(|pl| pl.charged).collect();
-        let timing = timer.sync(&charged, &matrix);
+        this.charged.clear();
+        this.charged.extend(payloads.iter().map(|pl| pl.charged));
+        let timing = timer.sync(&this.charged, &this.matrix);
 
         // --- Profile ---
         let mut profile = PhaseProfile::default();
         for i in 0..p {
             profile.merge_max(&PhaseProfile {
-                m_op: charged[i],
-                m_rw: m_rw[i],
+                m_op: this.charged[i],
+                m_rw: this.m_rw[i],
                 kappa: 0,
-                h_in: h_in_words[i],
-                h_out: h_out_words[i],
-                msgs: data_msgs_by[i],
+                h_in: this.h_in_words[i],
+                h_out: this.h_out_words[i],
+                msgs: this.data_msgs_by[i],
             });
         }
         profile.kappa = kappa;
 
-        // --- Hand memory back; install new arrays; drop unregistered ---
+        // --- Install new arrays; drop unregistered; hand memory back ---
         for info in &new_arrays {
-            let mut segs: Vec<Segment> = (0..p)
-                .map(|proc| vec![0u64; crate::addr::block_range(info.len, p, proc).len()])
-                .collect();
-            for proc in (0..p).rev() {
-                replies[proc].segments.insert(info.id, segs.pop().unwrap());
-            }
-            self.infos.insert(info.id, info.clone());
+            debug_assert_eq!(info.id.0 as usize, this.infos.len());
+            this.infos.push(Some(info.clone()));
+            this.accesses.push(AccessRanges::default());
+            this.mem.push(
+                (0..p)
+                    .map(|proc| vec![0u64; crate::addr::block_range(info.len, p, proc).len()])
+                    .collect(),
+            );
         }
         for id in &unregs {
-            self.infos.remove(id);
-            mem.remove(id);
-        }
-        for (id, mut segs) in mem {
-            for proc in (0..p).rev() {
-                replies[proc].segments.insert(id, segs.pop().unwrap());
+            this.infos[id.0 as usize] = None;
+            for slot in &mut this.mem[id.0 as usize] {
+                *slot = Segment::new();
             }
         }
+        for (proc, reply) in replies.iter_mut().enumerate() {
+            reply.segments.resize_with(this.next_array_id as usize, Segment::new);
+            for (aidx, info) in this.infos.iter().enumerate() {
+                if info.is_some() {
+                    std::mem::swap(&mut this.mem[aidx][proc], &mut reply.segments[aidx]);
+                }
+            }
+        }
+
+        // --- Reset pooled scratch for the next phase ---
+        this.matrix.clear();
+        this.m_rw.fill(0);
+        this.h_in_words.fill(0);
+        this.h_out_words.fill(0);
+        this.data_msgs_by.fill(0);
+        for &aid in &this.touched_arrays {
+            this.accesses[aid as usize].clear();
+        }
+        this.touched_arrays.clear();
 
         let record = PhaseRecord { profile, timing, data_msgs, payload_bytes };
         (replies, record)
     }
+}
 
-    fn info_for_op<'a>(&'a self, id: ArrayId, new_arrays: &'a [ArrayInfo]) -> &'a ArrayInfo {
-        self.infos
-            .get(&id)
-            .or_else(|| new_arrays.iter().find(|a| a.id == id))
-            .unwrap_or_else(|| panic!("operation on unknown array {id:?}"))
-    }
+/// Metadata lookup across the live table and this phase's fresh
+/// registrations (a free function so callers can hold disjoint
+/// mutable borrows of other [`Driver`] fields).
+fn info_for_op<'a>(
+    infos: &'a [Option<ArrayInfo>],
+    new_arrays: &'a [ArrayInfo],
+    id: ArrayId,
+) -> &'a ArrayInfo {
+    infos
+        .get(id.0 as usize)
+        .and_then(Option::as_ref)
+        .or_else(|| new_arrays.iter().find(|a| a.id == id))
+        .unwrap_or_else(|| panic!("operation on unknown array {id:?}"))
 }
 
 #[cfg(test)]
@@ -511,31 +682,41 @@ mod tests {
             reads: vec![(0, 10), (5, 10), (7, 1)],
             writes: vec![(20, 5), (20, 5), (20, 5)],
         };
-        assert_eq!(sweep_kappa("t", &acc, true), 3);
+        assert_eq!(sweep_kappa("t", &acc, true, &mut Vec::new()), 3);
     }
 
     #[test]
     fn adjacent_ranges_do_not_conflict() {
         let acc = AccessRanges { reads: vec![(0, 5)], writes: vec![(5, 5)] };
-        assert_eq!(sweep_kappa("t", &acc, true), 1);
+        assert_eq!(sweep_kappa("t", &acc, true, &mut Vec::new()), 1);
     }
 
     #[test]
     #[should_panic(expected = "bulk-synchrony violation")]
     fn read_write_overlap_detected() {
         let acc = AccessRanges { reads: vec![(0, 10)], writes: vec![(9, 1)] };
-        sweep_kappa("t", &acc, true);
+        sweep_kappa("t", &acc, true, &mut Vec::new());
     }
 
     #[test]
     fn overlap_tolerated_when_check_disabled() {
         let acc = AccessRanges { reads: vec![(0, 10)], writes: vec![(9, 1)] };
-        assert_eq!(sweep_kappa("t", &acc, false), 2);
+        assert_eq!(sweep_kappa("t", &acc, false, &mut Vec::new()), 2);
     }
 
     #[test]
     fn empty_access_set_has_zero_kappa() {
-        assert_eq!(sweep_kappa("t", &AccessRanges::default(), true), 0);
+        assert_eq!(sweep_kappa("t", &AccessRanges::default(), true, &mut Vec::new()), 0);
+    }
+
+    #[test]
+    fn sweep_reuses_event_buffer() {
+        let mut events = Vec::new();
+        let acc = AccessRanges { reads: vec![(0, 10), (5, 10)], writes: vec![] };
+        assert_eq!(sweep_kappa("t", &acc, true, &mut events), 2);
+        // A stale buffer from a previous array must not leak in.
+        let acc2 = AccessRanges { reads: vec![(0, 1)], writes: vec![] };
+        assert_eq!(sweep_kappa("t", &acc2, true, &mut events), 1);
     }
 
     #[test]
@@ -547,5 +728,25 @@ mod tests {
         assert_eq!(m.at(2, 1).put_items, 0);
         assert!(!m.is_empty());
         assert_eq!(m.nprocs(), 3);
+    }
+
+    #[test]
+    fn comm_matrix_dirty_list_tracks_and_clears() {
+        let mut m = CommMatrix::new(4);
+        m.at_mut(0, 3).put_items = 1;
+        m.at_mut(2, 1).get_items = 2;
+        m.at_mut(0, 3).put_words = 7; // second borrow must not duplicate
+        let mut seen = Vec::new();
+        m.for_each_dirty(|s, d, c| seen.push((s, d, c.put_items, c.get_items)));
+        assert_eq!(seen, vec![(0, 3, 1, 0), (2, 1, 0, 2)]);
+        m.clear();
+        assert!(m.is_empty());
+        let mut count = 0;
+        m.for_each_dirty(|_, _, _| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(m.at(0, 3), &PairTraffic::default());
+        // A touched-but-empty cell still reads as empty overall.
+        let _ = m.at_mut(1, 1);
+        assert!(m.is_empty());
     }
 }

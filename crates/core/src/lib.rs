@@ -49,8 +49,8 @@ pub mod ctx;
 mod driver;
 pub mod ops;
 pub mod shmem;
-mod sim_timer;
 pub mod sim_runtime;
+mod sim_timer;
 pub mod thread_runtime;
 pub mod word;
 

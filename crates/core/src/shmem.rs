@@ -1,6 +1,5 @@
 //! Shared-array metadata and driver-side global memory.
 
-use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use crate::addr::{block_range, ArrayId, Layout};
@@ -80,22 +79,28 @@ pub struct Registration {
 pub type Segment = Vec<u64>;
 
 /// The per-processor view of shared memory: segment storage plus
-/// array metadata. Workers own this between syncs; the driver owns it
-/// during exchanges (ownership travels through channels, which is the
-/// entire synchronization story — no locks, no unsafe).
+/// array metadata, both dense `Vec`s indexed by `ArrayId.0` (ids are
+/// assigned sequentially, so the tables stay small and lookup is a
+/// bounds check instead of a hash). Workers own this between syncs;
+/// the driver owns the segments during exchanges (ownership travels
+/// through channels, which is the entire synchronization story — no
+/// locks, no unsafe).
 #[derive(Debug, Default)]
 pub struct LocalStore {
-    /// Metadata for every live array.
-    pub infos: HashMap<ArrayId, ArrayInfo>,
-    /// This processor's block segment of each live array.
-    pub segments: HashMap<ArrayId, Segment>,
+    /// Metadata for every array id ever assigned; `None` when the
+    /// array is not (or no longer) live on this processor.
+    pub infos: Vec<Option<ArrayInfo>>,
+    /// This processor's block segment of each array; unregistered or
+    /// never-registered slots hold an empty `Vec`. The container
+    /// round-trips to the driver every `sync()`.
+    pub segments: Vec<Segment>,
 }
 
 impl LocalStore {
     /// Metadata lookup, panicking with the array name context on
     /// unknown ids (e.g. use before the registering `sync()`).
     pub fn info(&self, id: ArrayId) -> &ArrayInfo {
-        self.infos.get(&id).unwrap_or_else(|| {
+        self.infos.get(id.0 as usize).and_then(Option::as_ref).unwrap_or_else(|| {
             panic!(
                 "array {:?} is not live on this processor; did you use a handle \
                  before the sync() that completes its registration, or after \
@@ -111,16 +116,56 @@ impl LocalStore {
         block_range(info.len, p, proc)
     }
 
-    /// Install a new array's segment.
-    pub fn install(&mut self, info: ArrayInfo, segment: Segment) {
-        self.segments.insert(info.id, segment);
-        self.infos.insert(info.id, info);
+    /// This processor's segment of `id` (liveness already verified by
+    /// the caller through [`LocalStore::info`]).
+    pub fn segment(&self, id: ArrayId) -> &Segment {
+        &self.segments[id.0 as usize]
     }
 
-    /// Drop an array.
+    /// Mutable access to this processor's segment of `id`.
+    pub fn segment_mut(&mut self, id: ArrayId) -> &mut Segment {
+        &mut self.segments[id.0 as usize]
+    }
+
+    /// Install a new array's segment (grows the dense tables to cover
+    /// its id).
+    pub fn install(&mut self, info: ArrayInfo, segment: Segment) {
+        let idx = info.id.0 as usize;
+        if self.infos.len() <= idx {
+            self.infos.resize(idx + 1, None);
+        }
+        if self.segments.len() <= idx {
+            self.segments.resize_with(idx + 1, Segment::new);
+        }
+        self.segments[idx] = segment;
+        self.infos[idx] = Some(info);
+    }
+
+    /// Record metadata for an id whose segment is already in place
+    /// (the driver delivers segments positionally in its reply).
+    pub fn set_info(&mut self, info: ArrayInfo) {
+        let idx = info.id.0 as usize;
+        if self.infos.len() <= idx {
+            self.infos.resize(idx + 1, None);
+        }
+        self.infos[idx] = Some(info);
+    }
+
+    /// Drop an array: the slot stays (ids are never reused) but its
+    /// metadata and storage are released.
     pub fn remove(&mut self, id: ArrayId) {
-        self.infos.remove(&id);
-        self.segments.remove(&id);
+        let idx = id.0 as usize;
+        if let Some(slot) = self.infos.get_mut(idx) {
+            *slot = None;
+        }
+        if let Some(seg) = self.segments.get_mut(idx) {
+            *seg = Segment::new();
+        }
+    }
+
+    /// True when no array is live.
+    pub fn is_empty(&self) -> bool {
+        self.infos.iter().all(Option::is_none)
     }
 }
 
@@ -144,8 +189,11 @@ mod tests {
         s.install(info(1, 100), vec![0; 25]);
         assert_eq!(s.info(ArrayId(1)).len, 100);
         assert_eq!(s.local_range(ArrayId(1), 4, 2), 50..75);
+        assert_eq!(s.segment(ArrayId(1)).len(), 25);
         s.remove(ArrayId(1));
-        assert!(s.infos.is_empty() && s.segments.is_empty());
+        assert!(s.is_empty());
+        // The slot persists (ids are never reused) but holds nothing.
+        assert!(s.segments[1].is_empty());
     }
 
     #[test]

@@ -165,9 +165,7 @@ impl SimMachine {
             Err(payload) => std::panic::resume_unwind(payload),
         };
 
-        let profile = ProgramProfile {
-            phases: phases.iter().map(|r| r.profile).collect(),
-        };
+        let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
         let report = CostReport::build(&self.cfg, &phases, self.empty_sync_cost().get());
         RunResult { outputs, phases, profile, report }
     }

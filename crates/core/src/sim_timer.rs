@@ -12,19 +12,45 @@
 
 use qsm_simnet::barrier::{BarrierModel, FixedBarrier};
 use qsm_simnet::config::{BarrierKind, ExchangeOrder};
-use qsm_simnet::{Cycles, DisseminationBarrier, Injection, MachineConfig, MsgKind, Network};
+use qsm_simnet::{
+    Cycles, Delivery, DisseminationBarrier, Injection, MachineConfig, MsgKind, Network,
+};
 
 use crate::driver::{CommMatrix, PhaseTiming, SyncTimer};
 
 /// Wire bytes of one plan entry (get count + put count for one pair).
 const PLAN_ENTRY_BYTES: u64 = 16;
 
+/// Sidecar per data/reply message: item and word counts recovered via
+/// the parallel index into the injection buffer.
+#[derive(Clone, Copy)]
+struct MsgMeta {
+    items: u64,
+    words: u64,
+    reply_payload_bytes: u64,
+}
+
 /// Simulated-machine timer: owns the network and the global clock.
+///
+/// All per-phase working buffers (message lists, delivery tables,
+/// receiver inboxes) are pooled on the struct and reused, so a phase
+/// of the simulation allocates nothing in steady state.
 pub struct SimTimer {
     cfg: MachineConfig,
     net: Network,
     phase_start: Vec<Cycles>,
     prev_release_max: Cycles,
+    // --- pooled per-phase scratch ---
+    cpu: Vec<Cycles>,
+    plan_msgs: Vec<Injection>,
+    data_msgs: Vec<Injection>,
+    metas: Vec<MsgMeta>,
+    deliveries: Vec<Delivery>,
+    inbox: Vec<Vec<usize>>,
+    replies: Vec<Injection>,
+    reply_metas: Vec<MsgMeta>,
+    reply_deliveries: Vec<Delivery>,
+    reply_inbox: Vec<Vec<usize>>,
 }
 
 impl SimTimer {
@@ -35,6 +61,16 @@ impl SimTimer {
             cfg,
             phase_start: vec![Cycles::ZERO; cfg.p],
             prev_release_max: Cycles::ZERO,
+            cpu: Vec::with_capacity(cfg.p),
+            plan_msgs: Vec::new(),
+            data_msgs: Vec::new(),
+            metas: Vec::new(),
+            deliveries: Vec::new(),
+            inbox: vec![Vec::new(); cfg.p],
+            replies: Vec::new(),
+            reply_metas: Vec::new(),
+            reply_deliveries: Vec::new(),
+            reply_inbox: vec![Vec::new(); cfg.p],
         }
     }
 
@@ -50,152 +86,178 @@ impl SimTimer {
     fn simulate_exchange(&mut self, local_finish: &[Cycles], matrix: &CommMatrix) -> Vec<Cycles> {
         let p = self.cfg.p;
         let sw = self.cfg.sw;
-        let mut cpu: Vec<Cycles> =
-            local_finish.iter().map(|&t| t + Cycles::new(sw.sync_fixed)).collect();
+        self.cpu.clear();
+        self.cpu.extend(local_finish.iter().map(|&t| t + Cycles::new(sw.sync_fixed)));
 
         if p > 1 {
             // --- Plan distribution: all-to-all of pair counts ---
-            for c in cpu.iter_mut() {
+            for c in self.cpu.iter_mut() {
                 *c += Cycles::new(sw.plan_entry_cost * p as f64);
             }
             let plan_bytes = sw.msg_header_bytes + PLAN_ENTRY_BYTES;
-            let mut plan_msgs = Vec::with_capacity(p * (p - 1));
+            self.plan_msgs.clear();
             for r in 1..p {
-                for (i, &ready) in cpu.iter().enumerate() {
-                    plan_msgs.push(Injection::new(i, (i + r) % p, plan_bytes, ready, MsgKind::Plan));
+                for (i, &ready) in self.cpu.iter().enumerate() {
+                    self.plan_msgs.push(Injection::new(
+                        i,
+                        (i + r) % p,
+                        plan_bytes,
+                        ready,
+                        MsgKind::Plan,
+                    ));
                 }
             }
-            let deliveries = self.net.transmit(&plan_msgs);
-            let mut plan_done = cpu.clone();
-            for (m, d) in plan_msgs.iter().zip(&deliveries) {
-                plan_done[m.dst] = plan_done[m.dst].max(d.visible);
+            self.net.transmit_into(&self.plan_msgs, &mut self.deliveries);
+            // Every injection captured its ready time above, so the
+            // arrival maxima can fold into `cpu` in place.
+            for (m, d) in self.plan_msgs.iter().zip(&self.deliveries) {
+                self.cpu[m.dst] = self.cpu[m.dst].max(d.visible);
             }
-            cpu = plan_done;
         }
 
         // --- Data exchange: latin-square rounds (round r: i -> i+r).
         // Round 0 carries self-traffic of hashed arrays: it pays the
         // library path (marshal, overheads, apply) but no wire
-        // latency.
-        let mut data_msgs: Vec<Injection> = Vec::new();
-        // Sidecar: (src, dst, put_items?, words...) recovered via index.
-        #[derive(Clone, Copy)]
-        struct MsgMeta {
-            items: u64,
-            words: u64,
-            reply_payload_bytes: u64,
-        }
-        let mut metas: Vec<MsgMeta> = Vec::new();
-        for r in 0..p {
-            #[allow(clippy::needless_range_loop)] // cpu is mutated mid-loop
-            for i in 0..p {
-                let dst = match sw.exchange_order {
-                    ExchangeOrder::LatinSquare => (i + r) % p,
-                    ExchangeOrder::DirectSweep => r,
-                };
-                let traffic = *matrix.at(i, dst);
-                if traffic.put_items > 0 {
-                    let marshal = sw.put_marshal * traffic.put_items as f64
-                        + sw.copy_per_word_send * traffic.put_words as f64;
-                    cpu[i] += Cycles::new(marshal);
-                    let bytes = sw.msg_header_bytes
-                        + sw.item_header_bytes * traffic.put_items
-                        + traffic.put_payload_bytes;
-                    data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::PutData));
-                    metas.push(MsgMeta {
-                        items: traffic.put_items,
-                        words: traffic.put_words,
-                        reply_payload_bytes: 0,
-                    });
-                }
-                if traffic.get_items > 0 {
-                    let marshal = sw.get_request * traffic.get_items as f64;
-                    cpu[i] += Cycles::new(marshal);
-                    let bytes =
-                        sw.msg_header_bytes + sw.item_header_bytes * traffic.get_items;
-                    data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::GetRequest));
-                    metas.push(MsgMeta {
-                        items: traffic.get_items,
-                        words: traffic.get_words,
-                        reply_payload_bytes: traffic.get_reply_payload_bytes,
-                    });
-                }
-            }
-        }
-        let deliveries = self.net.transmit(&data_msgs);
-
-        // --- Receiver-side processing in deterministic arrival order.
-        let mut inbox: Vec<Vec<usize>> = vec![Vec::new(); p];
-        for (idx, m) in data_msgs.iter().enumerate() {
-            inbox[m.dst].push(idx);
-        }
-        let mut replies: Vec<Injection> = Vec::new();
-        let mut reply_metas: Vec<MsgMeta> = Vec::new();
-        for (dst, msgs) in inbox.iter_mut().enumerate() {
-            msgs.sort_by(|&a, &b| {
-                deliveries[a]
-                    .visible
-                    .cmp(&deliveries[b].visible)
-                    .then_with(|| data_msgs[a].src.cmp(&data_msgs[b].src))
-                    .then_with(|| a.cmp(&b))
-            });
-            for &idx in msgs.iter() {
-                let m = &data_msgs[idx];
-                let meta = metas[idx];
-                match m.kind {
-                    MsgKind::PutData => {
-                        let apply = sw.put_apply * meta.items as f64
-                            + sw.copy_per_word_recv * meta.words as f64;
-                        cpu[dst] = cpu[dst].max(deliveries[idx].visible) + Cycles::new(apply);
-                    }
-                    MsgKind::GetRequest => {
-                        let serve = sw.get_serve * meta.items as f64
-                            + sw.copy_per_word_send * meta.words as f64;
-                        cpu[dst] = cpu[dst].max(deliveries[idx].visible) + Cycles::new(serve);
+        // latency. A phase that moved no data skips all three stages
+        // outright — with nothing injected they would not move any
+        // timeline, only burn host time scanning p² empty cells.
+        if !matrix.is_empty() {
+            self.data_msgs.clear();
+            self.metas.clear();
+            let cpu = &mut self.cpu;
+            let data_msgs = &mut self.data_msgs;
+            let metas = &mut self.metas;
+            for r in 0..p {
+                #[allow(clippy::needless_range_loop)] // cpu is mutated mid-loop
+                for i in 0..p {
+                    let dst = match sw.exchange_order {
+                        ExchangeOrder::LatinSquare => (i + r) % p,
+                        ExchangeOrder::DirectSweep => r,
+                    };
+                    let traffic = *matrix.at(i, dst);
+                    if traffic.put_items > 0 {
+                        let marshal = sw.put_marshal * traffic.put_items as f64
+                            + sw.copy_per_word_send * traffic.put_words as f64;
+                        cpu[i] += Cycles::new(marshal);
                         let bytes = sw.msg_header_bytes
-                            + sw.item_header_bytes * meta.items
-                            + meta.reply_payload_bytes;
-                        replies.push(Injection::new(dst, m.src, bytes, cpu[dst], MsgKind::GetReply));
-                        reply_metas.push(meta);
+                            + sw.item_header_bytes * traffic.put_items
+                            + traffic.put_payload_bytes;
+                        data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::PutData));
+                        metas.push(MsgMeta {
+                            items: traffic.put_items,
+                            words: traffic.put_words,
+                            reply_payload_bytes: 0,
+                        });
                     }
-                    _ => unreachable!("unexpected message kind in data exchange"),
+                    if traffic.get_items > 0 {
+                        let marshal = sw.get_request * traffic.get_items as f64;
+                        cpu[i] += Cycles::new(marshal);
+                        let bytes = sw.msg_header_bytes + sw.item_header_bytes * traffic.get_items;
+                        data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::GetRequest));
+                        metas.push(MsgMeta {
+                            items: traffic.get_items,
+                            words: traffic.get_words,
+                            reply_payload_bytes: traffic.get_reply_payload_bytes,
+                        });
+                    }
                 }
             }
-        }
+            self.net.transmit_into(&self.data_msgs, &mut self.deliveries);
 
-        // --- Replies back to the requesters.
-        if !replies.is_empty() {
-            let reply_deliveries = self.net.transmit(&replies);
-            let mut reply_inbox: Vec<Vec<usize>> = vec![Vec::new(); p];
-            for (idx, m) in replies.iter().enumerate() {
-                reply_inbox[m.dst].push(idx);
+            // --- Receiver-side processing in deterministic arrival order.
+            for q in self.inbox.iter_mut() {
+                q.clear();
             }
-            for (dst, msgs) in reply_inbox.iter_mut().enumerate() {
-                msgs.sort_by(|&a, &b| {
-                    reply_deliveries[a]
-                        .visible
-                        .cmp(&reply_deliveries[b].visible)
-                        .then_with(|| replies[a].src.cmp(&replies[b].src))
-                        .then_with(|| a.cmp(&b))
-                });
-                for &idx in msgs.iter() {
-                    let meta = reply_metas[idx];
-                    let apply = sw.get_apply * meta.items as f64
-                        + sw.copy_per_word_recv * meta.words as f64;
-                    cpu[dst] =
-                        cpu[dst].max(reply_deliveries[idx].visible) + Cycles::new(apply);
+            for (idx, m) in self.data_msgs.iter().enumerate() {
+                self.inbox[m.dst].push(idx);
+            }
+            self.replies.clear();
+            self.reply_metas.clear();
+            {
+                let deliveries = &self.deliveries;
+                let data_msgs = &self.data_msgs;
+                let metas = &self.metas;
+                let cpu = &mut self.cpu;
+                let replies = &mut self.replies;
+                let reply_metas = &mut self.reply_metas;
+                for (dst, msgs) in self.inbox.iter_mut().enumerate() {
+                    msgs.sort_by(|&a, &b| {
+                        deliveries[a]
+                            .visible
+                            .cmp(&deliveries[b].visible)
+                            .then_with(|| data_msgs[a].src.cmp(&data_msgs[b].src))
+                            .then_with(|| a.cmp(&b))
+                    });
+                    for &idx in msgs.iter() {
+                        let m = &data_msgs[idx];
+                        let meta = metas[idx];
+                        match m.kind {
+                            MsgKind::PutData => {
+                                let apply = sw.put_apply * meta.items as f64
+                                    + sw.copy_per_word_recv * meta.words as f64;
+                                cpu[dst] =
+                                    cpu[dst].max(deliveries[idx].visible) + Cycles::new(apply);
+                            }
+                            MsgKind::GetRequest => {
+                                let serve = sw.get_serve * meta.items as f64
+                                    + sw.copy_per_word_send * meta.words as f64;
+                                cpu[dst] =
+                                    cpu[dst].max(deliveries[idx].visible) + Cycles::new(serve);
+                                let bytes = sw.msg_header_bytes
+                                    + sw.item_header_bytes * meta.items
+                                    + meta.reply_payload_bytes;
+                                replies.push(Injection::new(
+                                    dst,
+                                    m.src,
+                                    bytes,
+                                    cpu[dst],
+                                    MsgKind::GetReply,
+                                ));
+                                reply_metas.push(meta);
+                            }
+                            _ => unreachable!("unexpected message kind in data exchange"),
+                        }
+                    }
+                }
+            }
+
+            // --- Replies back to the requesters.
+            if !self.replies.is_empty() {
+                self.net.transmit_into(&self.replies, &mut self.reply_deliveries);
+                for q in self.reply_inbox.iter_mut() {
+                    q.clear();
+                }
+                for (idx, m) in self.replies.iter().enumerate() {
+                    self.reply_inbox[m.dst].push(idx);
+                }
+                let reply_deliveries = &self.reply_deliveries;
+                let replies = &self.replies;
+                let reply_metas = &self.reply_metas;
+                let cpu = &mut self.cpu;
+                for (dst, msgs) in self.reply_inbox.iter_mut().enumerate() {
+                    msgs.sort_by(|&a, &b| {
+                        reply_deliveries[a]
+                            .visible
+                            .cmp(&reply_deliveries[b].visible)
+                            .then_with(|| replies[a].src.cmp(&replies[b].src))
+                            .then_with(|| a.cmp(&b))
+                    });
+                    for &idx in msgs.iter() {
+                        let meta = reply_metas[idx];
+                        let apply = sw.get_apply * meta.items as f64
+                            + sw.copy_per_word_recv * meta.words as f64;
+                        cpu[dst] = cpu[dst].max(reply_deliveries[idx].visible) + Cycles::new(apply);
+                    }
                 }
             }
         }
 
         // --- Barrier.
         let enter: Vec<Cycles> =
-            (0..p).map(|i| cpu[i].max(self.net.send_free_at(i))).collect();
+            (0..p).map(|i| self.cpu[i].max(self.net.send_free_at(i))).collect();
         if p > 1 {
             match sw.barrier {
-                BarrierKind::Dissemination => {
-                    DisseminationBarrier.run(&mut self.net, &sw, &enter)
-                }
+                BarrierKind::Dissemination => DisseminationBarrier.run(&mut self.net, &sw, &enter),
                 BarrierKind::Fixed(l) => FixedBarrier(l).run(&mut self.net, &sw, &enter),
             }
         } else {
@@ -250,10 +312,7 @@ mod tests {
     fn empty_sync_near_paper_l() {
         // Table 3: 25 500 cycles (64 us) at p = 16.
         let l = empty_sync_cost(MachineConfig::paper_default(16)).get();
-        assert!(
-            (22_000.0..29_000.0).contains(&l),
-            "empty sync = {l}, want ~25500 (Table 3)"
-        );
+        assert!((22_000.0..29_000.0).contains(&l), "empty sync = {l}, want ~25500 (Table 3)");
     }
 
     #[test]
@@ -288,7 +347,7 @@ mod tests {
         let small = timing(cfg, &[0; 4], &mk(1_000)).comm.get();
         let large = timing(cfg, &[0; 4], &mk(10_000)).comm.get();
         let ratio = (large - small) / 9.0; // extra cost per 1000 words
-        // Per word: wire 12 + copy 4+4 = at least 20 cycles/word.
+                                           // Per word: wire 12 + copy 4+4 = at least 20 cycles/word.
         assert!(ratio > 1_000.0 * 15.0, "ratio {ratio}");
         assert!(large > small);
     }
@@ -330,8 +389,8 @@ mod tests {
             }
             m
         };
-        let d_small = timing(slow, &[0; 8], &mk(100)).comm.get()
-            - timing(base, &[0; 8], &mk(100)).comm.get();
+        let d_small =
+            timing(slow, &[0; 8], &mk(100)).comm.get() - timing(base, &[0; 8], &mk(100)).comm.get();
         let d_large = timing(slow, &[0; 8], &mk(100_000)).comm.get()
             - timing(base, &[0; 8], &mk(100_000)).comm.get();
         // The latency penalty must not grow with message size.
@@ -361,19 +420,17 @@ mod tests {
         // plan exchange plus exactly L.
         let l = 10_000.0;
         let diss = empty_sync_cost(MachineConfig::paper_default(8)).get();
-        let fixed = empty_sync_cost(
-            MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(l)),
-        )
-        .get();
+        let fixed =
+            empty_sync_cost(MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(l)))
+                .get();
         // Same plan cost in both; the barrier part differs.
         assert_ne!(diss, fixed);
         let plan_part = fixed - l;
         assert!(plan_part > 0.0, "plan part {plan_part}");
         // Fixed(0) isolates the plan exchange exactly.
-        let plan_only = empty_sync_cost(
-            MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(0.0)),
-        )
-        .get();
+        let plan_only =
+            empty_sync_cost(MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(0.0)))
+                .get();
         assert!((plan_only - plan_part).abs() < 1e-6);
     }
 

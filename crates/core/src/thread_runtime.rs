@@ -149,9 +149,7 @@ impl ThreadMachine {
         };
 
         let wall_nanos = start.elapsed().as_nanos() as f64;
-        let profile = ProgramProfile {
-            phases: phases.iter().map(|r| r.profile).collect(),
-        };
+        let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
         ThreadRunResult { outputs, phases, profile, wall_nanos }
     }
 }

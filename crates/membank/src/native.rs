@@ -58,10 +58,7 @@ pub fn run_native(threads: usize, banks: usize, pattern: Pattern, accesses: usiz
     })
     .expect("native membank scope panicked");
 
-    NativeResult {
-        pattern,
-        avg_ns: total_ns / (threads * accesses) as f64,
-    }
+    NativeResult { pattern, avg_ns: total_ns / (threads * accesses) as f64 }
 }
 
 /// Run all three patterns.
@@ -93,10 +90,7 @@ mod tests {
         let conflict = run_native(4, 8, Pattern::Conflict, 200_000).avg_ns;
         let noconflict = run_native(4, 8, Pattern::NoConflict, 200_000).avg_ns;
         if threads >= 4 {
-            assert!(
-                conflict > 0.7 * noconflict,
-                "conflict {conflict} vs noconflict {noconflict}"
-            );
+            assert!(conflict > 0.7 * noconflict, "conflict {conflict} vs noconflict {noconflict}");
         } else {
             assert!(conflict > 0.0 && noconflict > 0.0);
         }

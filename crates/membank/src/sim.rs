@@ -29,7 +29,12 @@ pub struct PatternResult {
 /// The simulation is deterministic for a given seed. A short warmup
 /// (10% of the accesses) is excluded from the averages so queues
 /// reach steady state first.
-pub fn simulate(machine: &BankMachine, pattern: Pattern, accesses: usize, seed: u64) -> PatternResult {
+pub fn simulate(
+    machine: &BankMachine,
+    pattern: Pattern,
+    accesses: usize,
+    seed: u64,
+) -> PatternResult {
     assert!(accesses >= 10, "too few accesses for a meaningful average");
     let p = machine.procs;
     let warmup = accesses / 10;
@@ -95,7 +100,12 @@ mod tests {
     fn noconflict_matches_uncontended_time() {
         let m = machine::smp_native();
         let r = simulate(&m, Pattern::NoConflict, N, 1);
-        assert!((r.avg_ns - m.uncontended_ns()).abs() < 1.0, "avg {} vs {}", r.avg_ns, m.uncontended_ns());
+        assert!(
+            (r.avg_ns - m.uncontended_ns()).abs() < 1.0,
+            "avg {} vs {}",
+            r.avg_ns,
+            m.uncontended_ns()
+        );
         assert_eq!(r.avg_queue_ns, 0.0);
     }
 
@@ -130,11 +140,7 @@ mod tests {
             let rs = simulate_all(&m, N, 3);
             let by = |p: Pattern| rs.iter().find(|r| r.pattern == p).unwrap().avg_ns;
             let slowdown = by(Pattern::Random) / by(Pattern::NoConflict);
-            assert!(
-                (1.0..=1.9).contains(&slowdown),
-                "{}: Random/NoConflict = {slowdown}",
-                m.name
-            );
+            assert!((1.0..=1.9).contains(&slowdown), "{}: Random/NoConflict = {slowdown}", m.name);
         }
     }
 

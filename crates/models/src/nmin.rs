@@ -58,8 +58,8 @@ impl NminModel {
 
     /// Predicted per-processor threshold `n_min/p` for a machine.
     pub fn nmin_per_p(&self, m: &MachineSpec) -> f64 {
-        let scaled = (self.slope_l * m.l + self.slope_o * m.o)
-            * (self.g_ref_per_byte / m.g_per_byte);
+        let scaled =
+            (self.slope_l * m.l + self.slope_o * m.o) * (self.g_ref_per_byte / m.g_per_byte);
         scaled + self.intercept
     }
 
@@ -93,8 +93,7 @@ pub fn r_squared(points: &[(f64, f64)], slope: f64, intercept: f64) -> f64 {
     let n = points.len() as f64;
     let mean_y: f64 = points.iter().map(|(_, y)| y).sum::<f64>() / n;
     let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
     if ss_tot == 0.0 {
         1.0
     } else {

@@ -41,9 +41,7 @@ impl QsmParams {
 
     /// Cost of one phase: `max(m_op, g · m_rw, κ)`.
     pub fn phase_cost(&self, ph: &PhaseProfile) -> f64 {
-        (ph.m_op as f64)
-            .max(self.g * ph.m_rw as f64)
-            .max(ph.kappa as f64)
+        (ph.m_op as f64).max(self.g * ph.m_rw as f64).max(ph.kappa as f64)
     }
 
     /// Communication-only cost of a phase: `max(g · m_rw, κ)`.
@@ -71,9 +69,7 @@ impl SQsmParams {
 
     /// Cost of one phase: `max(m_op, g · m_rw, g · κ)`.
     pub fn phase_cost(&self, ph: &PhaseProfile) -> f64 {
-        (ph.m_op as f64)
-            .max(self.base.g * ph.m_rw as f64)
-            .max(self.base.g * ph.kappa as f64)
+        (ph.m_op as f64).max(self.base.g * ph.m_rw as f64).max(self.base.g * ph.kappa as f64)
     }
 
     /// Communication-only cost of a phase: `max(g · m_rw, g · κ)`.

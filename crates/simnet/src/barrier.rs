@@ -56,8 +56,7 @@ impl BarrierModel for DisseminationBarrier {
                 let own_depart = deliveries[i].depart;
                 let from = (i + p - dist % p) % p;
                 let token_visible = deliveries[from].visible;
-                next[i] =
-                    own_depart.max(token_visible) + Cycles::new(sw.barrier_round_sw);
+                next[i] = own_depart.max(token_visible) + Cycles::new(sw.barrier_round_sw);
             }
             ready = next;
         }
@@ -163,12 +162,8 @@ mod tests {
     #[test]
     fn fixed_barrier_releases_all_at_last_plus_l() {
         let (mut net, sw) = setup(4);
-        let enter = vec![
-            Cycles::new(10.0),
-            Cycles::new(500.0),
-            Cycles::new(20.0),
-            Cycles::new(30.0),
-        ];
+        let enter =
+            vec![Cycles::new(10.0), Cycles::new(500.0), Cycles::new(20.0), Cycles::new(30.0)];
         let out = FixedBarrier(1000.0).run(&mut net, &sw, &enter);
         assert_eq!(out, vec![Cycles::new(1500.0); 4]);
     }

@@ -51,6 +51,6 @@ pub mod trace;
 pub use barrier::{BarrierModel, DisseminationBarrier};
 pub use config::{BarrierKind, CpuConfig, ExchangeOrder, MachineConfig, NetConfig, SoftwareConfig};
 pub use message::{Injection, MsgKind};
-pub use network::Network;
+pub use network::{Delivery, Network};
 pub use stats::NetStats;
 pub use time::Cycles;

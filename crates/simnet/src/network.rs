@@ -38,6 +38,11 @@ pub struct Network {
     fabric_free: Cycles,
     stats: NetStats,
     trace: Option<Trace>,
+    // Pooled per-transmit scratch (index queues), reused so the hot
+    // path of every exchange allocates nothing in steady state.
+    by_sender: Vec<Vec<usize>>,
+    by_receiver: Vec<Vec<usize>>,
+    fabric_order: Vec<usize>,
 }
 
 impl Network {
@@ -53,6 +58,9 @@ impl Network {
             fabric_free: Cycles::ZERO,
             stats: NetStats::default(),
             trace: None,
+            by_sender: vec![Vec::new(); p],
+            by_receiver: vec![Vec::new(); p],
+            fabric_order: Vec::new(),
         }
     }
 
@@ -83,11 +91,7 @@ impl Network {
 
     /// Earliest time every engine in the network is idle.
     pub fn quiesce_time(&self) -> Cycles {
-        self.send_free
-            .iter()
-            .chain(self.recv_free.iter())
-            .copied()
-            .fold(Cycles::ZERO, Cycles::max)
+        self.send_free.iter().chain(self.recv_free.iter()).copied().fold(Cycles::ZERO, Cycles::max)
     }
 
     /// When `node`'s send engine is next free.
@@ -127,24 +131,35 @@ impl Network {
     /// data through its own library path; they pay send and receive
     /// overhead but no wire latency.
     pub fn transmit(&mut self, msgs: &[Injection]) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        self.transmit_into(msgs, &mut deliveries);
+        deliveries
+    }
+
+    /// [`Network::transmit`] into a caller-provided buffer, reusing
+    /// its capacity (and the network's internal index queues) so that
+    /// repeated exchanges allocate nothing in steady state. Timing is
+    /// identical to `transmit`.
+    pub fn transmit_into(&mut self, msgs: &[Injection], deliveries: &mut Vec<Delivery>) {
         let latency = Cycles::new(self.cfg.latency);
         let n = msgs.len();
-        let mut deliveries = vec![
-            Delivery { depart: Cycles::ZERO, arrive: Cycles::ZERO, visible: Cycles::ZERO };
-            n
-        ];
+        deliveries.clear();
+        deliveries.resize(
+            n,
+            Delivery { depart: Cycles::ZERO, arrive: Cycles::ZERO, visible: Cycles::ZERO },
+        );
 
         // Pass 1: per-sender departures.
-        let mut by_sender: Vec<Vec<usize>> = vec![Vec::new(); self.p];
+        for queue in self.by_sender.iter_mut() {
+            queue.clear();
+        }
         for (i, m) in msgs.iter().enumerate() {
             assert!(m.src < self.p, "bad src {} (p = {})", m.src, self.p);
             assert!(m.dst < self.p, "bad dst {} (p = {})", m.dst, self.p);
-            by_sender[m.src].push(i);
+            self.by_sender[m.src].push(i);
         }
-        for (src, queue) in by_sender.iter_mut().enumerate() {
-            queue.sort_by(|&a, &b| {
-                msgs[a].ready.cmp(&msgs[b].ready).then_with(|| a.cmp(&b))
-            });
+        for (src, queue) in self.by_sender.iter_mut().enumerate() {
+            queue.sort_by(|&a, &b| msgs[a].ready.cmp(&msgs[b].ready).then_with(|| a.cmp(&b)));
             let mut free = self.send_free[src];
             for &i in queue.iter() {
                 let m = &msgs[i];
@@ -153,8 +168,7 @@ impl Network {
                 let depart = start + busy;
                 free = depart;
                 deliveries[i].depart = depart;
-                deliveries[i].arrive =
-                    if m.src == m.dst { depart } else { depart + latency };
+                deliveries[i].arrive = if m.src == m.dst { depart } else { depart + latency };
             }
             self.send_free[src] = free;
         }
@@ -164,8 +178,9 @@ impl Network {
         // machine-wide resource between departure and the wire, in
         // deterministic (depart, src, index) order.
         if let Some(fabric_gap) = self.cfg.fabric_gap_per_byte {
-            let mut order: Vec<usize> =
-                (0..n).filter(|&i| msgs[i].src != msgs[i].dst).collect();
+            self.fabric_order.clear();
+            self.fabric_order.extend((0..n).filter(|&i| msgs[i].src != msgs[i].dst));
+            let order = &mut self.fabric_order;
             order.sort_by(|&a, &b| {
                 deliveries[a]
                     .depart
@@ -173,7 +188,7 @@ impl Network {
                     .then_with(|| msgs[a].src.cmp(&msgs[b].src))
                     .then_with(|| a.cmp(&b))
             });
-            for i in order {
+            for &i in self.fabric_order.iter() {
                 let occupy = Cycles::new(fabric_gap * msgs[i].bytes as f64);
                 let start = deliveries[i].depart.max(self.fabric_free);
                 self.fabric_free = start + occupy;
@@ -182,11 +197,13 @@ impl Network {
         }
 
         // Pass 2: per-receiver ingestion in arrival order.
-        let mut by_receiver: Vec<Vec<usize>> = vec![Vec::new(); self.p];
-        for (i, m) in msgs.iter().enumerate() {
-            by_receiver[m.dst].push(i);
+        for queue in self.by_receiver.iter_mut() {
+            queue.clear();
         }
-        for (dst, queue) in by_receiver.iter_mut().enumerate() {
+        for (i, m) in msgs.iter().enumerate() {
+            self.by_receiver[m.dst].push(i);
+        }
+        for (dst, queue) in self.by_receiver.iter_mut().enumerate() {
             queue.sort_by(|&a, &b| {
                 deliveries[a]
                     .arrive
@@ -217,8 +234,6 @@ impl Network {
             }
             self.recv_free[dst] = free;
         }
-
-        deliveries
     }
 }
 
@@ -420,9 +435,8 @@ mod proptests {
 
     fn arb_msgs(p: usize) -> impl Strategy<Value = Vec<Injection>> {
         proptest::collection::vec(
-            (0..p, 0..p, 0u64..10_000, 0.0f64..1e6).prop_map(|(s, d, b, r)| {
-                Injection::new(s, d, b, Cycles::new(r), MsgKind::Other)
-            }),
+            (0..p, 0..p, 0u64..10_000, 0.0f64..1e6)
+                .prop_map(|(s, d, b, r)| Injection::new(s, d, b, Cycles::new(r), MsgKind::Other)),
             0..100,
         )
     }

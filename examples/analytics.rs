@@ -26,8 +26,7 @@ fn main() {
 
     // Latency samples in microseconds (uniform noise in [0, 100ms)
     // stands in for a production distribution).
-    let samples: Vec<u32> =
-        gen::random_u32s(n, 0xA11A).into_iter().map(|v| v % 100_000).collect();
+    let samples: Vec<u32> = gen::random_u32s(n, 0xA11A).into_iter().map(|v| v % 100_000).collect();
 
     // Stage 1: histogram (owner-computes; comm independent of n).
     let hist = histogram::run_sim(&machine, &samples, buckets);
@@ -49,14 +48,23 @@ fn main() {
     let rows = [
         ("histogram (128 buckets)", hist.comm(), &hist.run.phases[histogram::SETUP_PHASES..]),
         ("prefix sums (CDF)", cdf_run.comm(), &cdf_run.run.phases[prefix::SETUP_PHASES..]),
-        ("sample sort (percentiles)", sorted.comm(), &sorted.run.phases[samplesort::SETUP_PHASES..]),
+        (
+            "sample sort (percentiles)",
+            sorted.comm(),
+            &sorted.run.phases[samplesort::SETUP_PHASES..],
+        ),
     ];
     for (name, comm, phases) in rows {
         let total: f64 = phases.iter().map(|r| r.timing.elapsed.get()).sum();
         println!("{:<28} {:>12.1} {:>12.1} {:>8}", name, us(comm), us(total), phases.len());
     }
 
-    println!("\npercentiles: p50 = {} us, p99 = {} us, p99.9 = {} us", pct(0.5), pct(0.99), pct(0.999));
+    println!(
+        "\npercentiles: p50 = {} us, p99 = {} us, p99.9 = {} us",
+        pct(0.5),
+        pct(0.99),
+        pct(0.999)
+    );
     println!(
         "\nnote the shape: histogram & CDF communication is O(buckets + p), so the\n\
          full sort dominates — on a QSM machine you buy exact percentiles with\n\

@@ -52,6 +52,10 @@ fn main() {
 
     let params = EffectiveParams::measure(cfg);
     let est = listrank::predict_estimate(&run, &params);
-    println!("\n  QSM estimate {:.1} us, BSP estimate {:.1} us, measured {:.1} us",
-        us(est.qsm), us(est.bsp), us(run.comm()));
+    println!(
+        "\n  QSM estimate {:.1} us, BSP estimate {:.1} us, measured {:.1} us",
+        us(est.qsm),
+        us(est.bsp),
+        us(run.comm())
+    );
 }

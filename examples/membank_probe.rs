@@ -13,7 +13,10 @@ use qsm::membank::{machine, run_native_all, simulate_all, Pattern};
 
 fn main() {
     println!("simulated platforms (closed-loop bank queues, avg ns/access):\n");
-    println!("{:<28} {:>12} {:>12} {:>12} {:>18}", "platform", "NoConflict", "Random", "Conflict", "Conflict/NoConf");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>18}",
+        "platform", "NoConflict", "Random", "Conflict", "Conflict/NoConf"
+    );
     for m in machine::figure7_machines() {
         let results = simulate_all(&m, 20_000, 0x1998);
         let by = |p: Pattern| results.iter().find(|r| r.pattern == p).unwrap().avg_ns;
@@ -31,7 +34,8 @@ fn main() {
     println!("\nthis host ({threads} threads, padded atomic banks, avg ns/access):\n");
     let native = run_native_all(threads, 8, 500_000);
     let by = |p: Pattern| native.iter().find(|r| r.pattern == p).unwrap().avg_ns;
-    println!("{:<28} {:>12.1} {:>12.1} {:>12.1} {:>17.2}x",
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>12.1} {:>17.2}x",
         "host",
         by(Pattern::NoConflict),
         by(Pattern::Random),

@@ -26,7 +26,7 @@ fn main() {
     let machine = SimMachine::new(cfg);
 
     // Out-of-order event timestamps (uniform noise around arrival).
-    let events = gen::random_u32s(n, 2026_07_06);
+    let events = gen::random_u32s(n, 20260706);
 
     println!("sorting {n} events on {p} simulated nodes ...");
     let run = samplesort::run_sim(&machine, &events);
@@ -51,14 +51,21 @@ fn main() {
     println!("    best case    {:>10.1} us", us(best.qsm));
     println!("    measured     {:>10.1} us", us(run.comm()));
     println!("    WHP bound    {:>10.1} us", us(whp.qsm));
-    println!("    QSM estimate {:>10.1} us ({:+.1}% vs measured)", us(est.qsm),
-        100.0 * (est.qsm - run.comm()) / run.comm());
+    println!(
+        "    QSM estimate {:>10.1} us ({:+.1}% vs measured)",
+        us(est.qsm),
+        100.0 * (est.qsm - run.comm()) / run.comm()
+    );
     println!("    BSP estimate {:>10.1} us", us(est.bsp));
 
     let in_band = run.comm() >= best.qsm && run.comm() <= whp.qsm;
     println!(
         "\n  measured communication {} the [best, WHP] analysis band — problem size {}",
         if in_band { "falls inside" } else { "falls outside" },
-        if in_band { "is large enough for QSM analysis to be trusted" } else { "may be too small to bother parallelizing" }
+        if in_band {
+            "is large enough for QSM analysis to be trusted"
+        } else {
+            "may be too small to bother parallelizing"
+        }
     );
 }

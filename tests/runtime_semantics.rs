@@ -156,10 +156,7 @@ fn hashed_traffic_spreads_across_owners() {
     let block_msgs = comm_of(Layout::Block);
     let hashed_msgs = comm_of(Layout::Hashed);
     assert_eq!(block_msgs, 1, "block layout: one destination");
-    assert!(
-        hashed_msgs >= (p - 2) as u64,
-        "hashed layout should touch most owners: {hashed_msgs}"
-    );
+    assert!(hashed_msgs >= (p - 2) as u64, "hashed layout should touch most owners: {hashed_msgs}");
 }
 
 #[test]
@@ -193,12 +190,7 @@ fn concurrent_puts_record_kappa() {
 #[test]
 fn per_processor_rngs_differ_and_reproduce() {
     use rand::Rng;
-    let draw = || {
-        machine(4)
-            .with_seed(42)
-            .run(|ctx| ctx.rng().gen::<u64>())
-            .outputs
-    };
+    let draw = || machine(4).with_seed(42).run(|ctx| ctx.rng().gen::<u64>()).outputs;
     let a = draw();
     let b = draw();
     assert_eq!(a, b, "same seed must reproduce");

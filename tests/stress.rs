@@ -25,8 +25,7 @@ struct PhaseScript {
 fn script(seed: u64, phase: usize, proc: usize, len: usize) -> PhaseScript {
     let mut shared = SmallRng::seed_from_u64(seed ^ (phase as u64) << 16);
     let s = shared.gen_range(1..len);
-    let mut rng =
-        SmallRng::seed_from_u64(seed ^ (phase as u64) << 16 ^ (proc as u64 + 1) << 40);
+    let mut rng = SmallRng::seed_from_u64(seed ^ (phase as u64) << 16 ^ (proc as u64 + 1) << 40);
     let mut puts = Vec::new();
     for _ in 0..rng.gen_range(0..4) {
         let start = rng.gen_range(0..s);
@@ -53,9 +52,7 @@ fn reference(seed: u64, phases: usize, p: usize, len: usize) -> Vec<Vec<Vec<Vec<
         // Gets see the pre-put state.
         let phase_expect: Vec<Vec<Vec<u64>>> = scripts
             .iter()
-            .map(|sc| {
-                sc.gets.iter().map(|&(st, l)| mem[st..st + l].to_vec()).collect()
-            })
+            .map(|sc| sc.gets.iter().map(|&(st, l)| mem[st..st + l].to_vec()).collect())
             .collect();
         // Puts apply in processor order, then issue order.
         for sc in &scripts {

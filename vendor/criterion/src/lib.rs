@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of criterion's API the workspace's
+//! benches use — [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! wall-clock harness: warm up, run a fixed number of timed samples,
+//! print mean per-iteration time (and throughput when declared).
+//! No statistical analysis, outlier rejection, plots, or CLI.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self { label: format!("{name}/{param}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] runs and times
+/// the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    sink: &'a mut Report,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, called `samples` times after a small warmup; records
+    /// the mean wall-clock duration per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.samples.min(3) {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.sink.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+struct Report {
+    mean: Duration,
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut report = Report { mean: Duration::ZERO };
+    f(&mut Bencher { samples, sink: &mut report });
+    let mean = report.mean;
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("{label:<50} {mean:>12.2?}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("{label:<50} {mean:>12.2?}/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("{label:<50} {mean:>12.2?}/iter"),
+    }
+}
+
+/// Benchmark driver; hands out groups and runs standalone functions.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far fewer samples than real criterion: this harness checks
+        // for gross regressions, not microsecond-level significance.
+        Self { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; this shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            samples: self.default_samples,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), self.default_samples, None, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Collect benchmark functions into a runnable group, as in
+/// criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = <$crate::Criterion as ::std::default::Default>::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(bench_smoke, smoke);
+
+    #[test]
+    fn harness_runs() {
+        bench_smoke();
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the two crossbeam facilities the workspace uses
+//! on top of `std`:
+//!
+//! * [`thread::scope`] / [`thread::Scope::spawn`] — scoped threads,
+//!   delegating to `std::thread::scope` with crossbeam's
+//!   `Result`-returning signature (child panics are caught and
+//!   surfaced through `join`, a panicking scope body becomes `Err`).
+//! * [`channel::bounded`] / [`channel::unbounded`] — MPMC channels
+//!   with blocking `send`/`recv` and disconnect-on-drop semantics,
+//!   built from a mutex-protected queue and two condvars.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A bounded FIFO channel; `send` blocks while `cap` messages are
+    /// queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported by this shim");
+        channel(Some(cap))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is queued; `Err` when every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; `Err` when the queue is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: `None` when no message is ready (the
+        /// channel may still be live).
+        pub fn try_recv(&self) -> Option<T> {
+            let mut st = self.shared.state.lock().unwrap();
+            let msg = st.queue.pop_front();
+            if msg.is_some() {
+                drop(st);
+                self.shared.not_full.notify_one();
+            }
+            msg
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders blocked on a full queue so they can
+                // observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before return.
+    /// `Err` carries the panic payload if the scope body (or an
+    /// unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+    use super::thread;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = unbounded();
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(move |_| (0..100).map(|_| rx.recv().unwrap()).sum::<u64>());
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 4950);
+    }
+
+    #[test]
+    fn bounded_blocks_then_drains() {
+        let (tx, rx) = bounded(1);
+        let sum = thread::scope(|scope| {
+            let h = scope.spawn(move |_| {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for i in 0..50u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 1225);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn child_panic_surfaces_through_join() {
+        let joined = thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(joined.is_err());
+    }
+
+    #[test]
+    fn scope_body_panic_becomes_err() {
+        let r: Result<(), _> = thread::scope(|_| panic!("body"));
+        assert!(r.is_err());
+    }
+}
