@@ -1,6 +1,7 @@
 //! Regenerates every table and figure of the paper in sequence.
 //! `QSM_FAST=1` for a quick smoke pass.
 fn main() {
+    let obs = qsm_bench::obs::ObsSink::from_env();
     let cfg = qsm_bench::RunCfg::from_env();
     eprintln!("running all experiments with {cfg:?} ...");
     qsm_bench::figures::table3::run(&cfg).emit();
@@ -16,4 +17,5 @@ fn main() {
     qsm_bench::figures::ext_fabric::run(&cfg).emit();
     qsm_bench::figures::ext_straggler::run(&cfg).emit();
     qsm_bench::figures::ext_hotspot::run(&cfg).emit();
+    obs.finalize();
 }

@@ -1,0 +1,115 @@
+//! `explain` — instrumented breakdown of one algorithm run.
+//!
+//! Runs a single algorithm configuration on the simulated machine
+//! with the Full-level recorder active and prints a phase-by-phase
+//! table: measured elapsed/compute/comm cycles next to each model's
+//! per-phase communication prediction (QSM, s-QSM, BSP, LogP, all on
+//! hardware parameters — the same inputs as [`qsm_core::CostReport`]),
+//! the phase's contention κ, and which processor reached the barrier
+//! last. The [`qsm_core::CostReport`] summary follows.
+//!
+//! Knobs: `QSM_ALGO=prefix|samplesort|listrank` (default `prefix`),
+//! `QSM_P` (default 8), `QSM_N` (default 65536), plus the usual
+//! `QSM_TRACE=path.json` / `QSM_METRICS=path.json` outputs.
+
+use qsm_algorithms::{gen, listrank, prefix, samplesort};
+use qsm_bench::obs::ObsSink;
+use qsm_bench::output::table;
+use qsm_core::obs::ObsLevel;
+use qsm_core::{CostReport, PhaseRecord, SimMachine};
+use qsm_obs::{ObsData, SpanKind};
+use qsm_simnet::{Cycles, MachineConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn run_algo(
+    algo: &str,
+    machine: &SimMachine,
+    n: usize,
+    seed: u64,
+) -> (Vec<PhaseRecord>, CostReport) {
+    match algo {
+        "prefix" => {
+            let r = prefix::run_sim(machine, &gen::random_u64s(n, seed ^ 0xDA7A));
+            (r.run.phases, r.run.report)
+        }
+        "samplesort" => {
+            let r = samplesort::run_sim(machine, &gen::random_u32s(n, seed ^ 0xDA7A));
+            (r.run.phases, r.run.report)
+        }
+        "listrank" => {
+            let (succ, pred, _) = gen::random_list(n, seed ^ 0xDA7A);
+            let r = listrank::run_sim(machine, &succ, &pred);
+            (r.run.phases, r.run.report)
+        }
+        other => {
+            eprintln!("unknown QSM_ALGO '{other}' (want prefix, samplesort, or listrank)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// For each phase, the processor that entered the barrier last — the
+/// one the whole machine waited on.
+fn slowest_by_phase(data: &ObsData, nphases: usize) -> Vec<Option<u32>> {
+    let mut last: Vec<Option<(Cycles, u32)>> = vec![None; nphases];
+    for s in &data.spans {
+        if s.kind != SpanKind::BarrierWait {
+            continue;
+        }
+        let Some(slot) = last.get_mut(s.phase as usize) else { continue };
+        if slot.is_none_or(|(t, _)| s.start > t) {
+            *slot = Some((s.start, s.lane));
+        }
+    }
+    last.into_iter().map(|o| o.map(|(_, lane)| lane)).collect()
+}
+
+fn main() {
+    // Full level regardless of QSM_TRACE: the table itself needs the
+    // per-processor spans.
+    let sink = ObsSink::with_level(Some(ObsLevel::Full));
+    let algo = std::env::var("QSM_ALGO").unwrap_or_else(|_| "prefix".into());
+    let p = env_usize("QSM_P", 8);
+    let n = env_usize("QSM_N", 1 << 16);
+    let machine = SimMachine::new(MachineConfig::paper_default(p));
+
+    sink.discard(); // nothing of interest captured yet; start clean
+    let (phases, report) = run_algo(&algo, &machine, n, 0x1998_0021);
+    let data = sink.recorder().take().unwrap_or_else(|| {
+        eprintln!("explain requires the observability recorder; another one is installed");
+        std::process::exit(1);
+    });
+
+    let slowest = slowest_by_phase(&data, phases.len());
+    let m = &report.models;
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .enumerate()
+        .map(|(k, r)| {
+            vec![
+                k.to_string(),
+                format!("{:.0}", r.timing.elapsed.get()),
+                format!("{:.0}", r.timing.compute.get()),
+                format!("{:.0}", r.timing.comm.get()),
+                format!("{:.0}", m.qsm.phase_comm_cost(&r.profile)),
+                format!("{:.0}", m.sqsm.phase_comm_cost(&r.profile)),
+                format!("{:.0}", m.bsp.phase_comm_cost(&r.profile)),
+                format!("{:.0}", m.logp.phase_comm_cost(&r.profile)),
+                r.profile.kappa.to_string(),
+                slowest[k].map_or_else(|| "-".into(), |l| format!("p{l}")),
+            ]
+        })
+        .collect();
+    let headers =
+        ["phase", "elapsed", "compute", "comm", "qsm", "sqsm", "bsp", "logp", "kappa", "slowest"];
+
+    println!("== explain — {algo}, p = {p}, n = {n} ==");
+    println!("(cycles; model columns are per-phase predicted communication)");
+    println!("{}", table(&headers, &rows));
+    print!("{report}");
+
+    sink.write(&data);
+}

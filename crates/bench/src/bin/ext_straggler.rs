@@ -1,5 +1,7 @@
 //! Runs the heterogeneous-processors (straggler) extension experiment.
 fn main() {
+    let obs = qsm_bench::obs::ObsSink::from_env();
     let cfg = qsm_bench::RunCfg::from_env();
     qsm_bench::figures::ext_straggler::run(&cfg).emit();
+    obs.finalize();
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's fig3 (see module docs for the expected shape).
 fn main() {
+    let obs = qsm_bench::obs::ObsSink::from_env();
     let cfg = qsm_bench::RunCfg::from_env();
     qsm_bench::figures::fig3::run(&cfg).emit();
+    obs.finalize();
 }

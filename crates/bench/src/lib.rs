@@ -19,10 +19,18 @@
 //! pool that runs independent measurement points concurrently
 //! (default `available_parallelism() / p`; `QSM_JOBS=1` is fully
 //! serial). Results are identical for every `QSM_JOBS` value.
+//!
+//! Observability knobs (see [`obs`]): `QSM_TRACE=path.json` captures
+//! a Perfetto trace of the run, `QSM_METRICS=path.json` dumps the
+//! run-wide metrics registry (byte-stable across `QSM_JOBS`), and
+//! `QSM_PROGRESS=1` reports per-point sweep durations on stderr. The
+//! `explain` binary prints a phase-by-phase measured-vs-predicted
+//! breakdown for one algorithm configuration.
 
 #![deny(missing_docs)]
 
 pub mod figures;
+pub mod obs;
 pub mod output;
 pub mod stats;
 pub mod sweep;

@@ -13,9 +13,15 @@
 //! default is `available_parallelism() / p_sim` (minimum 1), because
 //! every measurement point itself spawns `p_sim` simulated-processor
 //! threads. `QSM_JOBS=1` recovers the serial executor exactly.
+//!
+//! With `QSM_PROGRESS=1` each completed point reports its wall-clock
+//! duration and the sweep's running completion count on stderr —
+//! stdout (tables) and the CSV artifacts are untouched, so progress
+//! output never perturbs the deterministic results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Worker-pool size for sweeps whose points each simulate `p_sim`
 /// processors: `QSM_JOBS` if set (minimum 1), else
@@ -28,6 +34,35 @@ pub fn jobs(p_sim: usize) -> usize {
     }
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     (cores / p_sim.max(1)).max(1)
+}
+
+/// Per-point duration/progress telemetry for one sweep, reporting to
+/// stderr when `QSM_PROGRESS` is set (to anything but `0`). Inactive
+/// it is a single boolean test per completed point.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        let enabled = std::env::var("QSM_PROGRESS").map(|v| v != "0").unwrap_or(false);
+        Self { enabled, total, done: AtomicUsize::new(0) }
+    }
+
+    /// Time `f` on point `i` and report its completion.
+    fn time<T>(&self, i: usize, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("[sweep {done}/{}] point {i} finished in {ms:.1} ms", self.total);
+        out
+    }
 }
 
 /// Run `f` over every item of the sweep grid on a pool of
@@ -47,8 +82,13 @@ where
 {
     let n = items.len();
     let workers = jobs(p_sim).min(n.max(1));
+    let progress = Progress::new(n);
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| progress.time(i, || f(i, item)))
+            .collect();
     }
 
     // Work-stealing over the index space: a shared cursor hands out
@@ -71,7 +111,7 @@ where
                     .expect("sweep item lock poisoned")
                     .take()
                     .expect("sweep item taken twice");
-                let out = f(i, item);
+                let out = progress.time(i, || f(i, item));
                 *results[i].lock().expect("sweep result lock poisoned") = Some(out);
             });
         }

@@ -1,15 +1,18 @@
 //! The parallel sweep executor must be invisible in the results:
 //! whatever `QSM_JOBS` is set to, every figure's CSV must be
 //! byte-identical to the serial run, and repeat runs must replay the
-//! same simulated cycle counts exactly.
+//! same simulated cycle counts exactly. The same holds for the
+//! metrics registry: its counters and histograms are commutative, so
+//! the JSON dump must not depend on worker count or completion order.
 //!
 //! This file contains exactly one `#[test]` on purpose: it mutates
-//! the process-wide `QSM_JOBS` variable, and a sibling test running
-//! concurrently in the same binary could observe the intermediate
-//! value.
+//! the process-wide `QSM_JOBS` variable and installs the
+//! process-global metrics recorder, and a sibling test running
+//! concurrently in the same binary could observe either.
 
 use qsm_bench::figures::fig4;
 use qsm_bench::RunCfg;
+use qsm_core::obs::{self, ObsLevel, Recorder};
 
 #[test]
 fn fig4_is_byte_identical_across_job_counts_and_runs() {
@@ -19,12 +22,21 @@ fn fig4_is_byte_identical_across_job_counts_and_runs() {
     // worker executes which point.
     let cfg = RunCfg::fast();
 
+    // Metrics-level recorder shared by every run below; drained to
+    // JSON after each so the dumps are directly comparable.
+    assert!(obs::install(Recorder::new(ObsLevel::Metrics, 400e6)));
+    let rec = obs::recorder();
+    let drain = || rec.take_metrics_json().expect("recorder is installed");
+
     std::env::set_var("QSM_JOBS", "1");
     let serial = fig4::run(&cfg);
+    let serial_metrics = drain();
 
     std::env::set_var("QSM_JOBS", "4");
     let parallel = fig4::run(&cfg);
+    let parallel_metrics = drain();
     let parallel_again = fig4::run(&cfg);
+    let parallel_again_metrics = drain();
     std::env::remove_var("QSM_JOBS");
 
     assert_eq!(
@@ -35,5 +47,15 @@ fn fig4_is_byte_identical_across_job_counts_and_runs() {
     assert_eq!(
         parallel.csv, parallel_again.csv,
         "repeat parallel runs must replay simulated cycles exactly"
+    );
+
+    assert!(serial_metrics.contains("\"phases\""), "metrics dump looks empty:\n{serial_metrics}");
+    assert_eq!(
+        serial_metrics, parallel_metrics,
+        "metrics JSON must be byte-identical across QSM_JOBS"
+    );
+    assert_eq!(
+        parallel_metrics, parallel_again_metrics,
+        "repeat runs must replay the metrics registry exactly"
     );
 }

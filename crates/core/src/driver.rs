@@ -13,6 +13,7 @@
 
 use crossbeam::channel::{Receiver, Sender};
 use qsm_models::PhaseProfile;
+use qsm_obs::{Recorder, SpanKind};
 use qsm_simnet::Cycles;
 
 use crate::addr::{for_each_owner_run, ArrayId, Layout};
@@ -265,6 +266,11 @@ pub(crate) struct Driver {
     /// Dense by `ArrayId.0`; `None` = never registered/unregistered.
     infos: Vec<Option<ArrayInfo>>,
     check_conflicts: bool,
+    /// Observability sink (disabled unless a harness installed one).
+    rec: Recorder,
+    /// Accumulated simulated time, for span start points.
+    sim_now: Cycles,
+    phase_idx: u64,
     /// Global memory between hand-backs: `mem[array][proc]`. Slots are
     /// empty `Vec`s while workers hold the segments; the table shape
     /// persists so no per-phase rebuild is needed.
@@ -284,12 +290,16 @@ pub(crate) struct Driver {
 }
 
 impl Driver {
-    pub(crate) fn new(p: usize, check_conflicts: bool) -> Self {
+    pub(crate) fn new(p: usize, check_conflicts: bool, rec: Recorder) -> Self {
+        rec.set_nprocs(p);
         Self {
             p,
             next_array_id: 0,
             infos: Vec::new(),
             check_conflicts,
+            rec,
+            sim_now: Cycles::ZERO,
+            phase_idx: 0,
             mem: Vec::new(),
             matrix: CommMatrix::new(p),
             m_rw: vec![0; p],
@@ -600,6 +610,30 @@ impl Driver {
         this.charged.clear();
         this.charged.extend(payloads.iter().map(|pl| pl.charged));
         let timing = timer.sync(&this.charged, &this.matrix);
+
+        // --- Observability: phase spans on the machine track carry
+        // the phase timing verbatim (dur, not endpoints), so the comm
+        // spans of a run sum to `CostReport.measured_comm` exactly.
+        if this.rec.is_enabled() {
+            this.rec.add("phases", 1);
+            this.rec.add("data_msgs", data_msgs);
+            this.rec.add("payload_bytes", payload_bytes);
+            this.rec.observe("kappa", kappa);
+            if this.rec.is_full() {
+                let t0 = this.sim_now;
+                this.rec.span(SpanKind::PhaseCompute, this.phase_idx, 0, t0, timing.compute);
+                this.rec.span(
+                    SpanKind::PhaseComm,
+                    this.phase_idx,
+                    0,
+                    t0 + timing.compute,
+                    timing.comm,
+                );
+                this.rec.counter("kappa", 0, t0 + timing.elapsed, kappa as f64);
+            }
+        }
+        this.sim_now += timing.elapsed;
+        this.phase_idx += 1;
 
         // --- Profile ---
         let mut profile = PhaseProfile::default();

@@ -47,6 +47,7 @@ pub mod addr;
 pub mod calibrate;
 pub mod ctx;
 mod driver;
+pub mod obs;
 pub mod ops;
 pub mod shmem;
 pub mod sim_runtime;

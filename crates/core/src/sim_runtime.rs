@@ -126,13 +126,16 @@ impl SimMachine {
             reply_rxs.push(rx);
         }
 
-        let driver = Driver::new(p, self.check_conflicts);
+        // Ambient observability: emit into whatever recorder the
+        // harness installed (disabled — and free — by default).
+        let rec = crate::obs::recorder();
+        let driver = Driver::new(p, self.check_conflicts, rec.clone());
         let program = &program;
         let seed = self.seed;
         let cfg = self.cfg;
 
         let scope_result = crossbeam::thread::scope(move |scope| {
-            let mut timer = SimTimer::new(cfg);
+            let mut timer = SimTimer::with_recorder(cfg, rec);
             let mut handles = Vec::with_capacity(p);
             for (proc, rx) in reply_rxs.into_iter().enumerate() {
                 let tx = worker_tx.clone();

@@ -10,16 +10,23 @@
 //! hardware gap, cf. Table 3), and the send/receive NIC engines
 //! simulated by [`qsm_simnet::Network`].
 
+use qsm_obs::{Recorder, Span, SpanKind};
 use qsm_simnet::barrier::{BarrierModel, FixedBarrier};
 use qsm_simnet::config::{BarrierKind, ExchangeOrder};
 use qsm_simnet::{
-    Cycles, Delivery, DisseminationBarrier, Injection, MachineConfig, MsgKind, Network,
+    Cycles, Delivery, DisseminationBarrier, Injection, Keep, MachineConfig, MsgKind, NetStats,
+    Network,
 };
 
 use crate::driver::{CommMatrix, PhaseTiming, SyncTimer};
 
 /// Wire bytes of one plan entry (get count + put count for one pair).
 const PLAN_ENTRY_BYTES: u64 = 16;
+
+/// Per-phase cap on captured wire events when a full recorder is
+/// attached (the trace is drained into the recorder every phase, so
+/// this bounds a single phase, not the run).
+const PHASE_TRACE_CAP: usize = 65_536;
 
 /// Sidecar per data/reply message: item and word counts recovered via
 /// the parallel index into the injection buffer.
@@ -40,6 +47,11 @@ pub struct SimTimer {
     net: Network,
     phase_start: Vec<Cycles>,
     prev_release_max: Cycles,
+    rec: Recorder,
+    phase_idx: u64,
+    /// Network statistics at the end of the previous phase, for
+    /// per-phase per-kind deltas (only maintained when recording).
+    prev_stats: NetStats,
     // --- pooled per-phase scratch ---
     cpu: Vec<Cycles>,
     plan_msgs: Vec<Injection>,
@@ -51,16 +63,33 @@ pub struct SimTimer {
     reply_metas: Vec<MsgMeta>,
     reply_deliveries: Vec<Delivery>,
     reply_inbox: Vec<Vec<usize>>,
+    barrier_enter: Vec<Cycles>,
+    /// `(round, first msg index, one-past-last)` per non-empty data
+    /// round, for [`SpanKind::ExchangeRound`] spans (full level only).
+    round_bounds: Vec<(usize, usize, usize)>,
 }
 
 impl SimTimer {
-    /// A fresh machine at time zero.
+    /// A fresh, unobserved machine at time zero.
     pub fn new(cfg: MachineConfig) -> Self {
+        Self::with_recorder(cfg, Recorder::disabled())
+    }
+
+    /// A fresh machine emitting into `rec`. At full level the network
+    /// trace is enabled and drained into the recorder every phase.
+    pub fn with_recorder(cfg: MachineConfig, rec: Recorder) -> Self {
+        let mut net = Network::new(cfg.p, cfg.net);
+        if rec.is_full() {
+            net.enable_trace_keep(PHASE_TRACE_CAP, Keep::First);
+        }
         Self {
-            net: Network::new(cfg.p, cfg.net),
+            net,
             cfg,
             phase_start: vec![Cycles::ZERO; cfg.p],
             prev_release_max: Cycles::ZERO,
+            rec,
+            phase_idx: 0,
+            prev_stats: NetStats::default(),
             cpu: Vec::with_capacity(cfg.p),
             plan_msgs: Vec::new(),
             data_msgs: Vec::new(),
@@ -71,6 +100,8 @@ impl SimTimer {
             reply_metas: Vec::new(),
             reply_deliveries: Vec::new(),
             reply_inbox: vec![Vec::new(); cfg.p],
+            barrier_enter: Vec::with_capacity(cfg.p),
+            round_bounds: Vec::new(),
         }
     }
 
@@ -124,10 +155,14 @@ impl SimTimer {
         if !matrix.is_empty() {
             self.data_msgs.clear();
             self.metas.clear();
+            self.round_bounds.clear();
+            let track_rounds = self.rec.is_full();
             let cpu = &mut self.cpu;
             let data_msgs = &mut self.data_msgs;
             let metas = &mut self.metas;
+            let round_bounds = &mut self.round_bounds;
             for r in 0..p {
+                let round_lo = data_msgs.len();
                 #[allow(clippy::needless_range_loop)] // cpu is mutated mid-loop
                 for i in 0..p {
                     let dst = match sw.exchange_order {
@@ -160,6 +195,9 @@ impl SimTimer {
                             reply_payload_bytes: traffic.get_reply_payload_bytes,
                         });
                     }
+                }
+                if track_rounds && data_msgs.len() > round_lo {
+                    round_bounds.push((r, round_lo, data_msgs.len()));
                 }
             }
             self.net.transmit_into(&self.data_msgs, &mut self.deliveries);
@@ -253,15 +291,136 @@ impl SimTimer {
         }
 
         // --- Barrier.
-        let enter: Vec<Cycles> =
-            (0..p).map(|i| self.cpu[i].max(self.net.send_free_at(i))).collect();
+        self.barrier_enter.clear();
+        for i in 0..p {
+            self.barrier_enter.push(self.cpu[i].max(self.net.send_free_at(i)));
+        }
         if p > 1 {
             match sw.barrier {
-                BarrierKind::Dissemination => DisseminationBarrier.run(&mut self.net, &sw, &enter),
-                BarrierKind::Fixed(l) => FixedBarrier(l).run(&mut self.net, &sw, &enter),
+                BarrierKind::Dissemination => {
+                    DisseminationBarrier.run(&mut self.net, &sw, &self.barrier_enter)
+                }
+                BarrierKind::Fixed(l) => {
+                    FixedBarrier(l).run(&mut self.net, &sw, &self.barrier_enter)
+                }
             }
         } else {
-            enter
+            self.barrier_enter.clone()
+        }
+    }
+
+    /// Emit this phase's spans, counter samples, wire events, and
+    /// metrics into the attached recorder. Called once per `sync()`
+    /// when the recorder is enabled; `release` is per-processor
+    /// barrier release, `release_max` the phase end on the global
+    /// clock. `self.phase_start` still holds the phase *start* times.
+    fn record_phase(&mut self, local_finish: &[Cycles], matrix: &CommMatrix, release: &[Cycles]) {
+        let p = self.cfg.p;
+        let phase = self.phase_idx;
+        let exchanged = !matrix.is_empty();
+
+        // --- Metrics (commutative; byte-stable across QSM_JOBS) ---
+        // Per-kind network traffic as a delta against the previous
+        // phase's statistics.
+        let stats = self.net.stats().clone();
+        for (kind, msgs, bytes) in stats.by_kind() {
+            let (msgs_name, bytes_name) = kind_counter_names(kind);
+            self.rec.add(msgs_name, msgs - self.prev_stats.count(kind));
+            self.rec.add(bytes_name, bytes - self.prev_stats.bytes_of(kind));
+        }
+        self.prev_stats = stats;
+        if exchanged {
+            self.rec.observe_iter(
+                "msg_size_bytes",
+                self.data_msgs.iter().chain(self.replies.iter()).map(|m| m.bytes),
+            );
+            self.rec.observe_iter("dest_queue_depth", self.inbox.iter().map(|q| q.len() as u64));
+        }
+        let slowest = local_finish
+            .iter()
+            .zip(&self.phase_start)
+            .map(|(&f, &s)| f - s)
+            .fold(Cycles::ZERO, Cycles::max);
+        if slowest > Cycles::ZERO {
+            let fastest = local_finish
+                .iter()
+                .zip(&self.phase_start)
+                .map(|(&f, &s)| f - s)
+                .fold(slowest, Cycles::min);
+            let pct = (slowest - fastest).get() / slowest.get() * 100.0;
+            self.rec.observe("compute_imbalance_pct", pct.round() as u64);
+        }
+
+        if !self.rec.is_full() {
+            return;
+        }
+
+        // --- Per-processor lanes: compute, comm-busy, barrier wait.
+        let spans = (0..p).flat_map(|i| {
+            let lane = i as u32;
+            [
+                Span {
+                    kind: SpanKind::Compute,
+                    phase,
+                    lane,
+                    start: self.phase_start[i],
+                    dur: local_finish[i] - self.phase_start[i],
+                },
+                Span {
+                    kind: SpanKind::CommBusy,
+                    phase,
+                    lane,
+                    start: local_finish[i],
+                    dur: self.barrier_enter[i] - local_finish[i],
+                },
+                Span {
+                    kind: SpanKind::BarrierWait,
+                    phase,
+                    lane,
+                    start: self.barrier_enter[i],
+                    dur: release[i] - self.barrier_enter[i],
+                },
+            ]
+        });
+        self.rec.spans(spans);
+
+        // --- Exchange-round spans: first injection ready to last
+        // delivery visible, per latin-square (or sweep) round.
+        if exchanged {
+            let round_spans = self.round_bounds.iter().map(|&(r, lo, hi)| {
+                let start = self.data_msgs[lo..hi]
+                    .iter()
+                    .map(|m| m.ready)
+                    .fold(self.data_msgs[lo].ready, Cycles::min);
+                let end = self.deliveries[lo..hi]
+                    .iter()
+                    .map(|d| d.visible)
+                    .fold(Cycles::ZERO, Cycles::max);
+                Span {
+                    kind: SpanKind::ExchangeRound,
+                    phase,
+                    lane: r as u32,
+                    start,
+                    dur: end - start,
+                }
+            });
+            self.rec.spans(round_spans);
+
+            // Queue-depth counter samples, one per destination, keyed
+            // at the phase end.
+            let release_max = release.iter().copied().fold(Cycles::ZERO, Cycles::max);
+            for (dst, q) in self.inbox.iter().enumerate() {
+                self.rec.counter("queue_depth", dst as u32, release_max, q.len() as f64);
+            }
+        }
+
+        // --- Wire events: drain the per-phase network trace.
+        if let Some(tr) = self.net.take_trace() {
+            if tr.dropped() > 0 {
+                self.rec.add("wire_events_dropped", tr.dropped());
+            }
+            self.rec.wire(phase, tr.into_events());
+            self.net.enable_trace_keep(PHASE_TRACE_CAP, Keep::First);
         }
     }
 }
@@ -283,9 +442,27 @@ impl SyncTimer for SimTimer {
             .fold(Cycles::ZERO, Cycles::max);
         let elapsed = release_max - self.prev_release_max;
         let comm = elapsed - compute;
+        if self.rec.is_enabled() {
+            self.record_phase(&local_finish, matrix, &release);
+        }
+        self.phase_idx += 1;
         self.prev_release_max = release_max;
         self.phase_start = release;
         PhaseTiming { elapsed, compute, comm }
+    }
+}
+
+/// Static metric names for per-kind network counters (the registry
+/// keys on `&'static str`, so the kind label folds in at compile
+/// time).
+fn kind_counter_names(kind: MsgKind) -> (&'static str, &'static str) {
+    match kind {
+        MsgKind::PutData => ("net_msgs_put_data", "net_bytes_put_data"),
+        MsgKind::GetRequest => ("net_msgs_get_request", "net_bytes_get_request"),
+        MsgKind::GetReply => ("net_msgs_get_reply", "net_bytes_get_reply"),
+        MsgKind::Plan => ("net_msgs_plan", "net_bytes_plan"),
+        MsgKind::Barrier => ("net_msgs_barrier", "net_bytes_barrier"),
+        MsgKind::Other => ("net_msgs_other", "net_bytes_other"),
     }
 }
 
@@ -432,6 +609,69 @@ mod tests {
             empty_sync_cost(MachineConfig::paper_default(8).with_barrier(BarrierKind::Fixed(0.0)))
                 .get();
         assert!((plan_only - plan_part).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_timer_emits_spans_wire_and_metrics() {
+        use qsm_obs::{ObsLevel, SpanKind};
+        let cfg = MachineConfig::paper_default(4);
+        let rec = Recorder::new(ObsLevel::Full, cfg.cpu.clock_hz);
+        let mut t = SimTimer::with_recorder(cfg, rec.clone());
+        let mut m = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = m.at_mut(i, (i + 1) % 4);
+            c.put_items = 10;
+            c.put_words = 10;
+            c.put_payload_bytes = 40;
+        }
+        let timing = t.sync(&[1_000; 4], &m);
+        let data = rec.take().unwrap();
+        // One compute / comm-busy / barrier-wait lane span per proc.
+        for kind in [SpanKind::Compute, SpanKind::CommBusy, SpanKind::BarrierWait] {
+            assert_eq!(data.spans.iter().filter(|s| s.kind == kind).count(), 4, "{kind:?}");
+        }
+        // Lane spans tile the phase: compute + busy + wait per proc
+        // ends exactly at that proc's barrier release <= elapsed.
+        for i in 0..4u32 {
+            let total: Cycles = data
+                .spans
+                .iter()
+                .filter(|s| s.lane == i && s.kind != SpanKind::ExchangeRound)
+                .map(|s| s.dur)
+                .sum();
+            assert!(total <= timing.elapsed);
+            assert!(total > Cycles::ZERO);
+        }
+        assert!(data.spans.iter().any(|s| s.kind == SpanKind::ExchangeRound));
+        // Wire events include the data and the barrier legs.
+        assert!(data.wire.iter().any(|w| w.ev.kind == MsgKind::PutData));
+        assert!(data.wire.iter().any(|w| w.ev.kind == MsgKind::Barrier));
+        // Metrics: per-kind counters and size/queue histograms.
+        assert_eq!(data.metrics.counter("net_msgs_put_data"), 4);
+        assert!(data.metrics.counter("net_bytes_barrier") > 0);
+        assert_eq!(data.metrics.histogram("msg_size_bytes").unwrap().count, 4);
+        assert!(data.metrics.histogram("dest_queue_depth").is_some());
+    }
+
+    #[test]
+    fn unobserved_timer_timing_is_identical_to_observed() {
+        // The recorder must never perturb simulated time.
+        let cfg = MachineConfig::paper_default(8);
+        let mut plain = SimTimer::new(cfg);
+        let rec = Recorder::new(qsm_obs::ObsLevel::Full, cfg.cpu.clock_hz);
+        let mut observed = SimTimer::with_recorder(cfg, rec);
+        let mut m = CommMatrix::new(8);
+        for i in 0..8usize {
+            let c = m.at_mut(i, (i + 3) % 8);
+            c.get_items = 50;
+            c.get_words = 50;
+            c.get_reply_payload_bytes = 200;
+        }
+        for k in 1..4u64 {
+            let a = plain.sync(&[k * 500; 8], &m);
+            let b = observed.sync(&[k * 500; 8], &m);
+            assert_eq!(a, b, "phase {k}");
+        }
     }
 
     #[test]

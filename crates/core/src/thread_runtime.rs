@@ -111,7 +111,9 @@ impl ThreadMachine {
             reply_rxs.push(rx);
         }
 
-        let driver = Driver::new(p, self.check_conflicts);
+        // Wall-clock phases are host-nondeterministic, so the native
+        // machine never feeds the (deterministic) observability layer.
+        let driver = Driver::new(p, self.check_conflicts, qsm_obs::Recorder::disabled());
         let program = &program;
         let seed = self.seed;
         let start = Instant::now();

@@ -1,0 +1,42 @@
+//! # qsm-obs — run-wide observability for the QSM workspace
+//!
+//! The paper's whole argument rests on decomposing a bulk-synchronous
+//! run into compute, communication, barrier wait, and queue
+//! contention (κ). End-of-run totals ([`qsm-core`'s `CostReport`])
+//! show *that* a model mispredicts; localizing *why* needs the layer
+//! in between: per-phase per-processor timelines, exchange-schedule
+//! occupancy, and κ/queue-depth distributions. This crate provides
+//! that layer for every runtime in the workspace:
+//!
+//! * [`Span`] — typed span events (phase compute/comm on a machine
+//!   track, per-processor compute / comm-busy / barrier-wait lanes,
+//!   exchange rounds), all keyed on simulated [`Cycles`] so output is
+//!   deterministic and byte-stable across host thread counts.
+//! * [`MetricsRegistry`] — named monotone counters and fixed-bucket
+//!   power-of-two histograms. Every operation is a commutative
+//!   integer update, so concurrent runs feeding one registry produce
+//!   byte-identical dumps regardless of interleaving (`QSM_JOBS`).
+//! * [`Recorder`] — the cheap, clonable handle the runtimes emit
+//!   into. A disabled recorder is a `None` and every record call is
+//!   an inlined early return: observability costs nothing unless
+//!   switched on.
+//! * [`ObsData`] / [`perfetto`] — the drained capture and its export
+//!   to Chrome trace-event JSON (load in <https://ui.perfetto.dev>):
+//!   one track per processor, a wire track fed by the `qsm-simnet`
+//!   [`TraceEvent`] stream (barrier legs included), and counter
+//!   tracks for κ and per-destination queue depth.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod perfetto;
+pub mod recorder;
+pub mod span;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{ObsData, ObsLevel, Recorder, WireEvent};
+pub use span::{CounterSample, Span, SpanKind};
+
+pub use qsm_simnet::trace::TraceEvent;
+pub use qsm_simnet::Cycles;

@@ -1,0 +1,99 @@
+//! Typed span events and counter samples on the simulated timeline.
+
+use qsm_simnet::Cycles;
+
+/// What a [`Span`] measures. Machine-track kinds aggregate over the
+/// whole machine; lane-track kinds carry a per-processor (or
+/// per-round) `lane` index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Machine track: the phase's compute part (slowest processor),
+    /// `dur` equal to `PhaseTiming.compute`.
+    PhaseCompute,
+    /// Machine track: the phase's communication part, `dur` equal to
+    /// `PhaseTiming.comm` — by construction the per-phase comm spans
+    /// of a run sum exactly to `CostReport.measured_comm`.
+    PhaseComm,
+    /// Processor lane: local compute of processor `lane`.
+    Compute,
+    /// Processor lane: processor `lane` busy inside `sync()` before
+    /// entering the barrier (plan, marshal, exchange, serve).
+    CommBusy,
+    /// Processor lane: processor `lane` waiting between barrier entry
+    /// and its release.
+    BarrierWait,
+    /// Exchange track: latin-square (or direct-sweep) round `lane` of
+    /// the data exchange, from first injection ready to last delivery
+    /// visible.
+    ExchangeRound,
+}
+
+impl SpanKind {
+    /// Display name used by exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::PhaseCompute => "compute",
+            SpanKind::PhaseComm => "comm",
+            SpanKind::Compute => "compute",
+            SpanKind::CommBusy => "comm",
+            SpanKind::BarrierWait => "barrier",
+            SpanKind::ExchangeRound => "round",
+        }
+    }
+}
+
+/// One recorded span. `start`/`dur` are simulated [`Cycles`]; `dur`
+/// is stored explicitly (not as an end point) so that quantities
+/// derived from phase timing survive export bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span type (selects the export track).
+    pub kind: SpanKind,
+    /// Bulk-synchronous phase index the span belongs to.
+    pub phase: u64,
+    /// Processor id or exchange-round index, depending on `kind`.
+    pub lane: u32,
+    /// Span start on the simulated clock.
+    pub start: Cycles,
+    /// Span duration.
+    pub dur: Cycles,
+}
+
+/// One sample of a named counter track (e.g. κ per phase, queue depth
+/// per destination), keyed on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter track name.
+    pub name: &'static str,
+    /// Sub-track (e.g. destination processor); tracks are exported
+    /// per `(name, lane)` pair.
+    pub lane: u32,
+    /// Sample time on the simulated clock.
+    pub ts: Cycles,
+    /// Sampled value.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SpanKind::PhaseComm.label(), "comm");
+        assert_eq!(SpanKind::BarrierWait.label(), "barrier");
+        assert_eq!(SpanKind::ExchangeRound.label(), "round");
+    }
+
+    #[test]
+    fn span_carries_duration_not_endpoint() {
+        let s = Span {
+            kind: SpanKind::PhaseComm,
+            phase: 3,
+            lane: 0,
+            start: Cycles::new(100.0),
+            dur: Cycles::new(41.5),
+        };
+        assert_eq!(s.dur.get(), 41.5);
+    }
+}

@@ -181,6 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn barrier_legs_are_traced() {
+        // Barrier tokens go through the same transmit path as data,
+        // so an enabled trace must capture every leg: p tokens per
+        // round x ceil(log2 p) rounds, all tagged MsgKind::Barrier.
+        let (mut net, sw) = setup(8);
+        net.enable_trace(1024);
+        DisseminationBarrier.run(&mut net, &sw, &[Cycles::ZERO; 8]);
+        let tr = net.take_trace().unwrap();
+        assert_eq!(tr.len(), 8 * 3, "8 nodes x ceil(log2 8) rounds");
+        assert!(tr.iter().all(|e| e.kind == MsgKind::Barrier));
+        assert_eq!(net.stats().count(MsgKind::Barrier), 24);
+        assert_eq!(
+            net.stats().bytes_of(MsgKind::Barrier),
+            24 * (BARRIER_TOKEN_BYTES + sw.msg_header_bytes)
+        );
+    }
+
+    #[test]
     fn sixteen_node_barrier_near_paper_l() {
         // Table 3: ~25 500 cycles at p = 16 for a full empty sync();
         // the bare barrier (without the plan all-to-all that qsm-core

@@ -54,3 +54,4 @@ pub use message::{Injection, MsgKind};
 pub use network::{Delivery, Network};
 pub use stats::NetStats;
 pub use time::Cycles;
+pub use trace::{Keep, Trace, TraceEvent};

@@ -5,19 +5,54 @@ use crate::time::Cycles;
 /// What a message carries — used for statistics and tracing only;
 /// the network model treats all kinds identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum MsgKind {
     /// Bulk `put` payload (data pushed to its destination).
-    PutData,
+    PutData = 0,
     /// `get` request (addresses only).
-    GetRequest,
+    GetRequest = 1,
     /// `get` reply (requested data).
-    GetReply,
+    GetReply = 2,
     /// Communication-plan exchange.
-    Plan,
+    Plan = 3,
     /// Barrier round token.
-    Barrier,
+    Barrier = 4,
     /// Anything else (microbenchmarks, tests).
-    Other,
+    Other = 5,
+}
+
+impl MsgKind {
+    /// Number of kinds — the length of a per-kind table.
+    pub const COUNT: usize = 6;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::PutData,
+        MsgKind::GetRequest,
+        MsgKind::GetReply,
+        MsgKind::Plan,
+        MsgKind::Barrier,
+        MsgKind::Other,
+    ];
+
+    /// Dense index of this kind (its discriminant), for indexing
+    /// per-kind tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case label for dumps and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::PutData => "put_data",
+            MsgKind::GetRequest => "get_request",
+            MsgKind::GetReply => "get_reply",
+            MsgKind::Plan => "plan",
+            MsgKind::Barrier => "barrier",
+            MsgKind::Other => "other",
+        }
+    }
 }
 
 /// One message to transmit: `bytes` from `src` to `dst`, becoming
@@ -47,6 +82,15 @@ impl Injection {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_ordered() {
+        for (i, k) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(MsgKind::ALL.len(), MsgKind::COUNT);
+        assert_eq!(MsgKind::Barrier.label(), "barrier");
+    }
 
     #[test]
     fn construction_round_trips() {

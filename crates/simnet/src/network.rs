@@ -12,7 +12,7 @@ use crate::config::NetConfig;
 use crate::message::Injection;
 use crate::stats::NetStats;
 use crate::time::Cycles;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Keep, Trace, TraceEvent};
 
 /// Timing of one delivered message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,9 +109,16 @@ impl Network {
         &self.stats
     }
 
-    /// Start capturing a bounded event trace.
+    /// Start capturing a bounded event trace keeping the first `cap`
+    /// events ([`Keep::First`]).
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = Some(Trace::with_capacity(cap));
+        self.enable_trace_keep(cap, Keep::First);
+    }
+
+    /// Start capturing a bounded event trace, choosing which end of
+    /// an over-capacity run to retain.
+    pub fn enable_trace_keep(&mut self, cap: usize, keep: Keep) {
+        self.trace = Some(Trace::with_capacity_keep(cap, keep));
     }
 
     /// Stop tracing and return what was captured.
@@ -376,9 +383,25 @@ mod tests {
         n.enable_trace(16);
         n.transmit(&[inj(0, 1, 8, 0.0)]);
         let tr = n.take_trace().unwrap();
-        assert_eq!(tr.events().len(), 1);
-        assert_eq!(tr.events()[0].src, 0);
-        assert_eq!(tr.events()[0].dst, 1);
+        assert_eq!(tr.len(), 1);
+        let ev = tr.iter().next().unwrap();
+        assert_eq!(ev.src, 0);
+        assert_eq!(ev.dst, 1);
+    }
+
+    #[test]
+    fn trace_keep_last_retains_the_tail() {
+        let mut n = net(2);
+        n.enable_trace_keep(2, Keep::Last);
+        let msgs: Vec<_> = (0..5).map(|i| inj(0, 1, 8 + i as u64, 0.0)).collect();
+        n.transmit(&msgs);
+        let tr = n.take_trace().unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        // The receiver ingests in arrival order, so the retained tail
+        // is the two largest (= latest-departing) messages.
+        let bytes: Vec<u64> = tr.iter().map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![11, 12]);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Aggregate network statistics.
 
-use std::collections::HashMap;
-
 use crate::message::MsgKind;
 use crate::time::Cycles;
 
 /// Counters accumulated by a [`crate::network::Network`] across all
 /// transmissions since the last reset.
+///
+/// Per-kind counts live in a fixed array indexed by the [`MsgKind`]
+/// discriminant — no hashing on the per-message hot path, and
+/// iteration order ([`NetStats::by_kind`]) is the declaration order,
+/// so dumps are deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetStats {
     /// Total messages delivered.
@@ -17,23 +20,43 @@ pub struct NetStats {
     pub send_busy: Cycles,
     /// Cycles all receivers spent busy (overhead + ingestion).
     pub recv_busy: Cycles,
-    /// Per-kind message counts.
-    pub by_kind: HashMap<MsgKind, u64>,
+    /// Per-kind message counts, indexed by [`MsgKind::index`].
+    by_kind: [u64; MsgKind::COUNT],
+    /// Per-kind wire bytes, indexed by [`MsgKind::index`].
+    bytes_by_kind: [u64; MsgKind::COUNT],
 }
 
 impl NetStats {
     /// Record one delivered message.
+    #[inline]
     pub fn record(&mut self, kind: MsgKind, bytes: u64, send_busy: Cycles, recv_busy: Cycles) {
         self.messages += 1;
         self.bytes += bytes;
         self.send_busy += send_busy;
         self.recv_busy += recv_busy;
-        *self.by_kind.entry(kind).or_insert(0) += 1;
+        self.by_kind[kind.index()] += 1;
+        self.bytes_by_kind[kind.index()] += bytes;
     }
 
     /// Messages of a given kind.
+    #[inline]
     pub fn count(&self, kind: MsgKind) -> u64 {
-        self.by_kind.get(&kind).copied().unwrap_or(0)
+        self.by_kind[kind.index()]
+    }
+
+    /// Wire bytes of a given kind.
+    #[inline]
+    pub fn bytes_of(&self, kind: MsgKind) -> u64 {
+        self.bytes_by_kind[kind.index()]
+    }
+
+    /// Per-kind `(kind, messages, bytes)` rows in discriminant order,
+    /// skipping kinds with no traffic.
+    pub fn by_kind(&self) -> impl Iterator<Item = (MsgKind, u64, u64)> + '_ {
+        MsgKind::ALL
+            .iter()
+            .map(|&k| (k, self.by_kind[k.index()], self.bytes_by_kind[k.index()]))
+            .filter(|&(_, n, _)| n > 0)
     }
 
     /// Reset all counters.
@@ -57,8 +80,19 @@ mod tests {
         assert_eq!(s.count(MsgKind::PutData), 2);
         assert_eq!(s.count(MsgKind::Barrier), 1);
         assert_eq!(s.count(MsgKind::GetReply), 0);
+        assert_eq!(s.bytes_of(MsgKind::PutData), 150);
+        assert_eq!(s.bytes_of(MsgKind::Barrier), 8);
         assert_eq!(s.send_busy.get(), 16.0);
         assert_eq!(s.recv_busy.get(), 26.0);
+    }
+
+    #[test]
+    fn by_kind_iterates_in_declaration_order_skipping_empty() {
+        let mut s = NetStats::default();
+        s.record(MsgKind::Barrier, 8, Cycles::ZERO, Cycles::ZERO);
+        s.record(MsgKind::PutData, 100, Cycles::ZERO, Cycles::ZERO);
+        let rows: Vec<_> = s.by_kind().collect();
+        assert_eq!(rows, vec![(MsgKind::PutData, 1, 100), (MsgKind::Barrier, 1, 8)]);
     }
 
     #[test]

@@ -22,20 +22,45 @@ pub struct TraceEvent {
     pub kind: MsgKind,
 }
 
+/// Which end of an over-capacity run a [`Trace`] retains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Keep {
+    /// Keep the first `cap` events and count the rest as dropped —
+    /// right when debugging startup behavior or when the trace is
+    /// drained every phase.
+    #[default]
+    First,
+    /// Keep the *last* `cap` events in a ring buffer — right for long
+    /// runs where the failure (and thus the interesting traffic) is
+    /// at the end.
+    Last,
+}
+
 /// A bounded in-memory trace buffer.
 #[derive(Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     cap: usize,
     dropped: u64,
+    keep: Keep,
+    /// In `Keep::Last` mode once full: index of the oldest retained
+    /// event (the next overwrite slot).
+    next: usize,
 }
 
 impl Trace {
-    /// Create a trace keeping at most `cap` events (older events are
-    /// kept; later ones are counted as dropped — the interesting part
-    /// of a debugging session is usually the beginning).
+    /// Create a trace keeping at most `cap` events. Which end of an
+    /// over-long run survives depends on the mode: this constructor
+    /// keeps the first `cap` events ([`Keep::First`]); use
+    /// [`Trace::with_capacity_keep`] to keep the tail instead.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { events: Vec::new(), cap, dropped: 0 }
+        Self::with_capacity_keep(cap, Keep::First)
+    }
+
+    /// Create a trace keeping at most `cap` events, retaining the
+    /// chosen end of the run when capacity is exceeded.
+    pub fn with_capacity_keep(cap: usize, keep: Keep) -> Self {
+        Self { events: Vec::new(), cap, dropped: 0, keep, next: 0 }
     }
 
     /// Record an event, honoring the capacity bound.
@@ -44,15 +69,38 @@ impl Trace {
             self.events.push(ev);
         } else {
             self.dropped += 1;
+            if self.keep == Keep::Last && self.cap > 0 {
+                self.events[self.next] = ev;
+                self.next = (self.next + 1) % self.cap;
+            }
         }
     }
 
-    /// Captured events.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
     }
 
-    /// Number of events that did not fit.
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Retained events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, head) = self.events.split_at(self.next.min(self.events.len()));
+        head.iter().chain(wrapped.iter())
+    }
+
+    /// Consume the trace, returning retained events in chronological
+    /// order.
+    pub fn into_events(mut self) -> Vec<TraceEvent> {
+        let pivot = self.next.min(self.events.len());
+        self.events.rotate_left(pivot);
+        self.events
+    }
+
+    /// Number of events that were evicted or did not fit.
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -65,7 +113,7 @@ impl Trace {
     pub fn to_chrome_json(&self, clock_hz: f64) -> String {
         let us = |c: Cycles| c.to_micros(clock_hz);
         let mut spans = Vec::new();
-        for e in &self.events {
+        for e in self.iter() {
             let label = format!("{:?} {}->{} ({}B)", e.kind, e.src, e.dst, e.bytes);
             // Sender leg: we only know the completion (depart), so
             // anchor a zero-width instant there plus the two real
@@ -93,7 +141,7 @@ impl Trace {
     /// Render as a tab-separated table (header + one line per event).
     pub fn render(&self) -> String {
         let mut out = String::from("depart\tarrive\tvisible\tsrc\tdst\tbytes\tkind\n");
-        for e in &self.events {
+        for e in self.iter() {
             out.push_str(&format!(
                 "{:.0}\t{:.0}\t{:.0}\t{}\t{}\t{}\t{:?}\n",
                 e.depart.get(),
@@ -134,8 +182,46 @@ mod tests {
         tr.record(ev(1.0));
         tr.record(ev(2.0));
         tr.record(ev(3.0));
-        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.len(), 2);
         assert_eq!(tr.dropped(), 1);
+        let departs: Vec<f64> = tr.iter().map(|e| e.depart.get()).collect();
+        assert_eq!(departs, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn keep_last_retains_the_tail_in_order() {
+        let mut tr = Trace::with_capacity_keep(3, Keep::Last);
+        for t in 1..=7 {
+            tr.record(ev(t as f64));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 4);
+        let departs: Vec<f64> = tr.iter().map(|e| e.depart.get()).collect();
+        assert_eq!(departs, vec![5.0, 6.0, 7.0]);
+        assert_eq!(
+            tr.into_events().iter().map(|e| e.depart.get()).collect::<Vec<_>>(),
+            vec![5.0, 6.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn keep_last_under_capacity_is_plain_order() {
+        let mut tr = Trace::with_capacity_keep(8, Keep::Last);
+        tr.record(ev(1.0));
+        tr.record(ev(2.0));
+        let departs: Vec<f64> = tr.iter().map(|e| e.depart.get()).collect();
+        assert_eq!(departs, vec![1.0, 2.0]);
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_in_both_modes() {
+        for keep in [Keep::First, Keep::Last] {
+            let mut tr = Trace::with_capacity_keep(0, keep);
+            tr.record(ev(1.0));
+            assert!(tr.is_empty());
+            assert_eq!(tr.dropped(), 1);
+        }
     }
 
     #[test]
