@@ -12,7 +12,7 @@
 //! `O(g·buckets)` per processor independent of `n` — a textbook
 //! example of the contract's "minimize κ by restructuring" advice.
 
-use qsm_core::{Ctx, Layout, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
+use qsm_core::{Ctx, Layout, Machine, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
 
 use crate::analysis::{EffectiveParams, Prediction};
 
@@ -110,11 +110,16 @@ pub fn histogram_seq(input: &[u32], buckets: usize) -> Vec<u64> {
     counts
 }
 
-/// Run on the simulated machine.
-pub fn run_sim(machine: &SimMachine, input: &[u32], buckets: usize) -> HistogramRun {
+/// Run on any [`Machine`] backend.
+pub fn run_on<M: Machine>(machine: &M, input: &[u32], buckets: usize) -> HistogramRun {
     let run = machine.run(|ctx| program(ctx, input, buckets));
     let counts = run.outputs.iter().flatten().copied().collect();
     HistogramRun { counts, run }
+}
+
+/// Run on the simulated machine.
+pub fn run_sim(machine: &SimMachine, input: &[u32], buckets: usize) -> HistogramRun {
+    run_on(machine, input, buckets)
 }
 
 /// Run on the native thread machine.
@@ -123,9 +128,8 @@ pub fn run_threads(
     input: &[u32],
     buckets: usize,
 ) -> (Vec<u64>, ThreadRunResult<Vec<u64>>) {
-    let run = machine.run(|ctx| program(ctx, input, buckets));
-    let counts = run.outputs.iter().flatten().copied().collect();
-    (counts, run)
+    let r = run_on(machine, input, buckets);
+    (r.counts, r.run)
 }
 
 /// QSM communication prediction: each processor ships ~`buckets`

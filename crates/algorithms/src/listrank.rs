@@ -18,7 +18,7 @@
 //! Ranks are distances to the tail: `rank[tail] = 0`,
 //! `rank[e] = rank[succ[e]] + 1` on the original list.
 
-use qsm_core::{Ctx, Layout, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
+use qsm_core::{Ctx, Layout, Machine, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
 use qsm_models::chernoff::binomial_upper_bound;
 use rand::Rng;
 
@@ -384,7 +384,7 @@ fn program(ctx: &mut Ctx, succ_in: &[u64], pred_in: &[u64]) -> ProcOutcome {
     }
 }
 
-/// Result of a simulated list-ranking run.
+/// Result of a list-ranking run on any backend.
 #[derive(Debug)]
 pub struct ListRankRun {
     /// Final ranks (distance to tail) for all `n` elements.
@@ -430,13 +430,18 @@ fn iter_maxima(outcomes: &[ProcOutcome]) -> Vec<IterStats> {
         .collect()
 }
 
-/// Run on the simulated machine.
-pub fn run_sim(machine: &SimMachine, succ: &[u64], pred: &[u64]) -> ListRankRun {
+/// Run on any [`Machine`] backend.
+pub fn run_on<M: Machine>(machine: &M, succ: &[u64], pred: &[u64]) -> ListRankRun {
     let run = machine.run(|ctx| program(ctx, succ, pred));
     let ranks = run.outputs.iter().flat_map(|o| o.local_ranks.iter().copied()).collect();
     let iter_maxima = iter_maxima(&run.outputs);
     let survivors = run.outputs.iter().map(|o| o.survivors).sum();
     ListRankRun { ranks, iter_maxima, survivors, run }
+}
+
+/// Run on the simulated machine.
+pub fn run_sim(machine: &SimMachine, succ: &[u64], pred: &[u64]) -> ListRankRun {
+    run_on(machine, succ, pred)
 }
 
 /// Run on the native thread machine.
@@ -445,9 +450,8 @@ pub fn run_threads(
     succ: &[u64],
     pred: &[u64],
 ) -> (Vec<u64>, ThreadRunResult<ProcOutcome>) {
-    let run = machine.run(|ctx| program(ctx, succ, pred));
-    let ranks = run.outputs.iter().flat_map(|o| o.local_ranks.iter().copied()).collect();
-    (ranks, run)
+    let r = run_on(machine, succ, pred);
+    (r.ranks, r.run)
 }
 
 /// Expected per-iteration remote traffic for `x` active elements per

@@ -13,7 +13,7 @@
 //! word-granular effective gap, small on machines with cheap bulk
 //! transfers). Phases: `p` rounds (one get + sync each).
 
-use qsm_core::{Ctx, Layout, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
+use qsm_core::{Ctx, Layout, Machine, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
 
 use crate::analysis::{EffectiveParams, Prediction};
 
@@ -158,12 +158,17 @@ impl MatMulRun {
     }
 }
 
-/// Run on the simulated machine.
-pub fn run_sim(machine: &SimMachine, a: &Matrix, b: &Matrix) -> MatMulRun {
+/// Run on any [`Machine`] backend.
+pub fn run_on<M: Machine>(machine: &M, a: &Matrix, b: &Matrix) -> MatMulRun {
     let n = a.n;
     let run = machine.run(|ctx| program(ctx, a, b));
     let data = run.outputs.iter().flatten().copied().collect();
     MatMulRun { c: Matrix::new(n, data), run }
+}
+
+/// Run on the simulated machine.
+pub fn run_sim(machine: &SimMachine, a: &Matrix, b: &Matrix) -> MatMulRun {
+    run_on(machine, a, b)
 }
 
 /// Run on the native thread machine.
@@ -172,10 +177,8 @@ pub fn run_threads(
     a: &Matrix,
     b: &Matrix,
 ) -> (Matrix, ThreadRunResult<Vec<f64>>) {
-    let n = a.n;
-    let run = machine.run(|ctx| program(ctx, a, b));
-    let data: Vec<f64> = run.outputs.iter().flatten().copied().collect();
-    (Matrix::new(n, data), run)
+    let r = run_on(machine, a, b);
+    (r.c, r.run)
 }
 
 /// QSM prediction: each processor fetches `n²·(p-1)/p` f64 elements

@@ -8,7 +8,7 @@
 //! time; its QSM communication prediction is `g(p-1)` per-processor
 //! words (the paper's Figure 1 lines).
 
-use qsm_core::{Ctx, Layout, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
+use qsm_core::{Ctx, Layout, Machine, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
 
 use crate::analysis::{EffectiveParams, Prediction};
 
@@ -68,7 +68,7 @@ fn program(ctx: &mut Ctx, input: &[u64]) -> Vec<u64> {
     local
 }
 
-/// Result of a simulated prefix-sums run.
+/// Result of a prefix-sums run on any backend.
 #[derive(Debug)]
 pub struct PrefixRun {
     /// The complete prefix-sums output (concatenated blocks).
@@ -89,11 +89,16 @@ impl PrefixRun {
     }
 }
 
-/// Run on the simulated machine.
-pub fn run_sim(machine: &SimMachine, input: &[u64]) -> PrefixRun {
+/// Run on any [`Machine`] backend.
+pub fn run_on<M: Machine>(machine: &M, input: &[u64]) -> PrefixRun {
     let run = machine.run(|ctx| program(ctx, input));
     let output = run.outputs.iter().flatten().copied().collect();
     PrefixRun { output, run }
+}
+
+/// Run on the simulated machine.
+pub fn run_sim(machine: &SimMachine, input: &[u64]) -> PrefixRun {
+    run_on(machine, input)
 }
 
 /// Run on the native thread machine.
@@ -101,9 +106,8 @@ pub fn run_threads(
     machine: &ThreadMachine,
     input: &[u64],
 ) -> (Vec<u64>, ThreadRunResult<Vec<u64>>) {
-    let run = machine.run(|ctx| program(ctx, input));
-    let output = run.outputs.iter().flatten().copied().collect();
-    (output, run)
+    let r = run_on(machine, input);
+    (r.output, r.run)
 }
 
 /// The paper's prediction for communication time: QSM charges

@@ -12,7 +12,7 @@
 //! analysis: `B` (largest bucket) and `r` (largest fraction of a
 //! bucket fetched from remote contributors).
 
-use qsm_core::{Ctx, Layout, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
+use qsm_core::{Ctx, Layout, Machine, RunResult, SimMachine, ThreadMachine, ThreadRunResult};
 use qsm_models::chernoff::sample_sort_bucket_bound;
 use rand::Rng;
 
@@ -174,7 +174,7 @@ fn program(ctx: &mut Ctx, input: &[u32], c: f64) -> ProcOutcome {
     ProcOutcome { local_sorted: ctx.local_vec(&s), bucket_size, own_contribution }
 }
 
-/// Result of a simulated sample-sort run.
+/// Result of a sample-sort run on any backend.
 #[derive(Debug)]
 pub struct SampleSortRun {
     /// The sorted output (concatenated blocks).
@@ -209,17 +209,27 @@ fn skews(outcomes: &[ProcOutcome]) -> (u64, f64) {
     (b_max, r_max)
 }
 
-/// Run on the simulated machine with the default oversampling.
-pub fn run_sim(machine: &SimMachine, input: &[u32]) -> SampleSortRun {
-    run_sim_with(machine, input, DEFAULT_OVERSAMPLING)
+/// Run on any [`Machine`] backend with the default oversampling.
+pub fn run_on<M: Machine>(machine: &M, input: &[u32]) -> SampleSortRun {
+    run_on_with(machine, input, DEFAULT_OVERSAMPLING)
 }
 
-/// Run on the simulated machine with oversampling constant `c`.
-pub fn run_sim_with(machine: &SimMachine, input: &[u32], c: f64) -> SampleSortRun {
+/// Run on any [`Machine`] backend with oversampling constant `c`.
+pub fn run_on_with<M: Machine>(machine: &M, input: &[u32], c: f64) -> SampleSortRun {
     let run = machine.run(|ctx| program(ctx, input, c));
     let output = run.outputs.iter().flat_map(|o| o.local_sorted.iter().copied()).collect();
     let (b_max, r_max) = skews(&run.outputs);
     SampleSortRun { output, b_max, r_max, run }
+}
+
+/// Run on the simulated machine with the default oversampling.
+pub fn run_sim(machine: &SimMachine, input: &[u32]) -> SampleSortRun {
+    run_on(machine, input)
+}
+
+/// Run on the simulated machine with oversampling constant `c`.
+pub fn run_sim_with(machine: &SimMachine, input: &[u32], c: f64) -> SampleSortRun {
+    run_on_with(machine, input, c)
 }
 
 /// Run on the native thread machine.
@@ -227,9 +237,8 @@ pub fn run_threads(
     machine: &ThreadMachine,
     input: &[u32],
 ) -> (Vec<u32>, ThreadRunResult<ProcOutcome>) {
-    let run = machine.run(|ctx| program(ctx, input, DEFAULT_OVERSAMPLING));
-    let output = run.outputs.iter().flat_map(|o| o.local_sorted.iter().copied()).collect();
-    (output, run)
+    let r = run_on(machine, input);
+    (r.output, r.run)
 }
 
 /// The QSM communication formula with explicit load-balance inputs

@@ -1,0 +1,132 @@
+//! Runtime backend selection for the experiment harness.
+//!
+//! `QSM_BACKEND=sim` (default) runs measurement programs on the
+//! simulated machine; `QSM_BACKEND=threads` runs them on real host
+//! threads through the same generic [`qsm_core::Machine`] pipeline.
+//! The algorithm figures (fig1–fig3) honour the selection; figures
+//! whose *experiment* is parameterized over simulated machine
+//! configurations (latency sweeps, fabric ablations, the model
+//! tables) always run on sim and say so on stderr when a different
+//! backend was requested.
+
+use qsm_core::{AnyMachine, SimMachine, ThreadMachine};
+use qsm_simnet::{CpuConfig, MachineConfig};
+
+/// Which [`qsm_core::Machine`] the harness runs programs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated machine: deterministic, priced in simulated
+    /// cycles at the paper's 400 MHz clock. The default.
+    Sim,
+    /// Real host threads, priced by the wall clock in nanoseconds.
+    Threads,
+}
+
+impl Backend {
+    /// Parse a `QSM_BACKEND` value. Empty selects the default.
+    pub fn parse(v: &str) -> Option<Backend> {
+        match v.trim() {
+            "" | "sim" => Some(Backend::Sim),
+            "threads" => Some(Backend::Threads),
+            _ => None,
+        }
+    }
+
+    /// Read `QSM_BACKEND` (default [`Backend::Sim`]); exit with a
+    /// diagnostic on an unknown value.
+    pub fn from_env() -> Backend {
+        match std::env::var("QSM_BACKEND") {
+            Err(_) => Backend::Sim,
+            Ok(v) => Backend::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown QSM_BACKEND '{v}' (want sim or threads)");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Short stable name (matches [`qsm_core::Machine::backend_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Threads => "threads",
+        }
+    }
+
+    /// Build the machine for one measurement run. On the threads
+    /// backend, `cfg` becomes the reference machine its
+    /// [`qsm_core::CostReport`] predictions are computed against.
+    pub fn machine(self, cfg: MachineConfig, seed: u64) -> AnyMachine {
+        match self {
+            Backend::Sim => AnyMachine::from(SimMachine::new(cfg).with_seed(seed)),
+            Backend::Threads => {
+                AnyMachine::from(ThreadMachine::new(cfg.p).with_model_config(cfg).with_seed(seed))
+            }
+        }
+    }
+
+    /// Ticks per second of the backend's time unit: the simulated
+    /// clock rate for sim, nanoseconds for threads. Used to label
+    /// observability timestamps.
+    pub fn clock_hz(self) -> f64 {
+        match self {
+            Backend::Sim => CpuConfig::default_1998().clock_hz,
+            Backend::Threads => 1e9,
+        }
+    }
+
+    /// Convert a measured [`qsm_core::RunResult`] timing (simulated
+    /// cycles or host nanoseconds) to microseconds.
+    pub fn us(self, t: f64) -> f64 {
+        match self {
+            Backend::Sim => crate::output::us_at_400mhz(t),
+            Backend::Threads => t / 1000.0,
+        }
+    }
+}
+
+/// Announce that a figure is parameterized over *simulated* machine
+/// configurations and therefore ignores a non-sim `QSM_BACKEND`.
+pub fn warn_sim_only(id: &str) {
+    if Backend::from_env() != Backend::Sim {
+        eprintln!(
+            "[{id}] experiment is parameterized over simulated machine configurations; \
+             ignoring QSM_BACKEND and running on sim"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsm_core::Machine;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("threads"), Some(Backend::Threads));
+        assert_eq!(Backend::parse(" threads "), Some(Backend::Threads));
+        assert_eq!(Backend::parse(""), Some(Backend::Sim));
+        assert_eq!(Backend::parse("cuda"), None);
+    }
+
+    #[test]
+    fn machines_carry_backend_identity() {
+        let cfg = MachineConfig::paper_default(4);
+        for b in [Backend::Sim, Backend::Threads] {
+            let m = b.machine(cfg, 7);
+            assert_eq!(m.nprocs(), 4);
+            assert_eq!(m.seed(), 7);
+            assert_eq!(m.backend_name(), b.name());
+        }
+    }
+
+    #[test]
+    fn us_conversion_matches_units() {
+        // 400 cycles at 400 MHz and 1000 ns are both one microsecond.
+        assert_eq!(Backend::Sim.us(400.0), 1.0);
+        assert_eq!(Backend::Threads.us(1000.0), 1.0);
+        // The sim conversion is the exact historical formula, so CSVs
+        // are byte-identical to the pre-backend harness.
+        assert_eq!(Backend::Sim.us(25_500.0), crate::output::us_at_400mhz(25_500.0));
+    }
+}

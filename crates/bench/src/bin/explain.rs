@@ -1,22 +1,27 @@
 //! `explain` — instrumented breakdown of one algorithm run.
 //!
-//! Runs a single algorithm configuration on the simulated machine
-//! with the Full-level recorder active and prints a phase-by-phase
-//! table: measured elapsed/compute/comm cycles next to each model's
-//! per-phase communication prediction (QSM, s-QSM, BSP, LogP, all on
-//! hardware parameters — the same inputs as [`qsm_core::CostReport`]),
-//! the phase's contention κ, and which processor reached the barrier
-//! last. The [`qsm_core::CostReport`] summary follows.
+//! Runs a single algorithm configuration on the `QSM_BACKEND`-selected
+//! machine with the Full-level recorder active and prints a
+//! phase-by-phase table: measured elapsed/compute/comm times next to
+//! each model's per-phase communication prediction (QSM, s-QSM, BSP,
+//! LogP, all on hardware parameters — the same inputs as
+//! [`qsm_core::CostReport`]), the phase's contention κ, and which
+//! processor reached the barrier last. The [`qsm_core::CostReport`]
+//! summary follows.
 //!
 //! Knobs: `QSM_ALGO=prefix|samplesort|listrank` (default `prefix`),
-//! `QSM_P` (default 8), `QSM_N` (default 65536), plus the usual
-//! `QSM_TRACE=path.json` / `QSM_METRICS=path.json` outputs.
+//! `QSM_P` (default 8), `QSM_N` (default 65536),
+//! `QSM_BACKEND=sim|threads` (default `sim`; measured columns switch
+//! from simulated cycles to host nanoseconds, model columns stay in
+//! cycles), plus the usual `QSM_TRACE=path.json` /
+//! `QSM_METRICS=path.json` outputs.
 
 use qsm_algorithms::{gen, listrank, prefix, samplesort};
+use qsm_bench::backend::Backend;
 use qsm_bench::obs::ObsSink;
 use qsm_bench::output::table;
 use qsm_core::obs::ObsLevel;
-use qsm_core::{CostReport, PhaseRecord, SimMachine};
+use qsm_core::{CostReport, Machine, PhaseRecord};
 use qsm_obs::{ObsData, SpanKind};
 use qsm_simnet::{Cycles, MachineConfig};
 
@@ -24,24 +29,24 @@ fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
 
-fn run_algo(
+fn run_algo<M: Machine>(
     algo: &str,
-    machine: &SimMachine,
+    machine: &M,
     n: usize,
     seed: u64,
 ) -> (Vec<PhaseRecord>, CostReport) {
     match algo {
         "prefix" => {
-            let r = prefix::run_sim(machine, &gen::random_u64s(n, seed ^ 0xDA7A));
+            let r = prefix::run_on(machine, &gen::random_u64s(n, seed ^ 0xDA7A));
             (r.run.phases, r.run.report)
         }
         "samplesort" => {
-            let r = samplesort::run_sim(machine, &gen::random_u32s(n, seed ^ 0xDA7A));
+            let r = samplesort::run_on(machine, &gen::random_u32s(n, seed ^ 0xDA7A));
             (r.run.phases, r.run.report)
         }
         "listrank" => {
             let (succ, pred, _) = gen::random_list(n, seed ^ 0xDA7A);
-            let r = listrank::run_sim(machine, &succ, &pred);
+            let r = listrank::run_on(machine, &succ, &pred);
             (r.run.phases, r.run.report)
         }
         other => {
@@ -72,9 +77,11 @@ fn main() {
     // per-processor spans.
     let sink = ObsSink::with_level(Some(ObsLevel::Full));
     let algo = std::env::var("QSM_ALGO").unwrap_or_else(|_| "prefix".into());
+    let backend = Backend::from_env();
     let p = env_usize("QSM_P", 8);
     let n = env_usize("QSM_N", 1 << 16);
-    let machine = SimMachine::new(MachineConfig::paper_default(p));
+    let machine = backend.machine(MachineConfig::paper_default(p), 0x1998_0021);
+    let unit = machine.time_unit();
 
     sink.discard(); // nothing of interest captured yet; start clean
     let (phases, report) = run_algo(&algo, &machine, n, 0x1998_0021);
@@ -106,8 +113,8 @@ fn main() {
     let headers =
         ["phase", "elapsed", "compute", "comm", "qsm", "sqsm", "bsp", "logp", "kappa", "slowest"];
 
-    println!("== explain — {algo}, p = {p}, n = {n} ==");
-    println!("(cycles; model columns are per-phase predicted communication)");
+    println!("== explain — {algo}, p = {p}, n = {n}, backend = {} ==", machine.backend_name());
+    println!("(measured columns in {unit}; model columns are per-phase predicted communication in cycles)");
     println!("{}", table(&headers, &rows));
     print!("{report}");
 

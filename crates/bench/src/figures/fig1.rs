@@ -9,15 +9,22 @@
 
 use qsm_algorithms::analysis::EffectiveParams;
 use qsm_algorithms::{gen, prefix};
-use qsm_core::SimMachine;
 use qsm_simnet::MachineConfig;
 
+use crate::backend::Backend;
 use crate::output::{csv, table, us_at_400mhz};
 use crate::stats::{mean, rel_stddev_pct};
 use crate::{Report, RunCfg};
 
-/// Run the experiment.
+/// Run the experiment on the `QSM_BACKEND`-selected backend.
 pub fn run(cfg: &RunCfg) -> Report {
+    run_with(cfg, Backend::from_env())
+}
+
+/// Run the experiment on an explicit backend. Measured columns are in
+/// the backend's time (converted to µs); the model prediction columns
+/// are always in the paper machine's simulated µs.
+pub fn run_with(cfg: &RunCfg, backend: Backend) -> Report {
     let machine_cfg = MachineConfig::paper_default(cfg.p);
     let params = EffectiveParams::measure(machine_cfg);
     let pred = prefix::predict(&params);
@@ -31,16 +38,16 @@ pub fn run(cfg: &RunCfg) -> Report {
         let mut comms = Vec::new();
         for rep in 0..cfg.reps {
             let seed = cfg.seed(point, rep);
-            let machine = SimMachine::new(machine_cfg).with_seed(seed);
+            let machine = backend.machine(machine_cfg, seed);
             let input = gen::random_u64s(n, seed ^ 0xDA7A);
-            let run = prefix::run_sim(&machine, &input);
+            let run = prefix::run_on(&machine, &input);
             totals.push(run.total());
             comms.push(run.comm());
         }
         vec![
             n.to_string(),
-            format!("{:.1}", us_at_400mhz(mean(&totals))),
-            format!("{:.1}", us_at_400mhz(mean(&comms))),
+            format!("{:.1}", backend.us(mean(&totals))),
+            format!("{:.1}", backend.us(mean(&comms))),
             format!("{:.1}", rel_stddev_pct(&comms)),
             format!("{:.1}", us_at_400mhz(pred.qsm)),
             format!("{:.1}", us_at_400mhz(pred.bsp)),
@@ -62,7 +69,9 @@ mod tests {
 
     #[test]
     fn fig1_shape_holds() {
-        let rep = run(&RunCfg::fast());
+        // Pinned to sim: the shape assertions are statements about
+        // the simulated machine, whatever QSM_BACKEND says.
+        let rep = run_with(&RunCfg::fast(), Backend::Sim);
         let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
         assert!(lines.len() >= 4);
         let comm = |l: &str| l.split(',').nth(2).unwrap().parse::<f64>().unwrap();
@@ -75,6 +84,22 @@ mod tests {
         for l in &lines {
             assert!(qsm(l) < bsp(l));
             assert!(bsp(l) < comm(l), "BSP should underestimate: {l}");
+        }
+    }
+
+    #[test]
+    fn fig1_runs_on_the_threads_backend() {
+        // Same sweep, real threads: rows keep their shape and the
+        // wall-clock measurements are positive. (No model assertions
+        // — predictions are in simulated cycles, measurements in ns.)
+        let mut cfg = RunCfg::fast();
+        cfg.p = 4; // keep the thread count friendly to small hosts
+        let rep = run_with(&cfg, Backend::Threads);
+        let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
+        assert_eq!(lines.len(), cfg.sizes().len());
+        for l in &lines {
+            let total: f64 = l.split(',').nth(1).unwrap().parse().unwrap();
+            assert!(total > 0.0, "non-positive wall time: {l}");
         }
     }
 }

@@ -7,15 +7,22 @@
 
 use qsm_algorithms::analysis::{relative_error, EffectiveParams};
 use qsm_algorithms::{gen, listrank};
-use qsm_core::SimMachine;
 use qsm_simnet::MachineConfig;
 
+use crate::backend::Backend;
 use crate::output::{csv, table, us_at_400mhz};
 use crate::stats::mean;
 use crate::{Report, RunCfg};
 
-/// Run the experiment.
+/// Run the experiment on the `QSM_BACKEND`-selected backend.
 pub fn run(cfg: &RunCfg) -> Report {
+    run_with(cfg, Backend::from_env())
+}
+
+/// Run the experiment on an explicit backend. Measured columns are in
+/// the backend's time (converted to µs); the analysis lines (Best,
+/// WHP, estimates) are always in the paper machine's simulated µs.
+pub fn run_with(cfg: &RunCfg, backend: Backend) -> Report {
     let machine_cfg = MachineConfig::paper_default(cfg.p);
     let params = EffectiveParams::measure(machine_cfg);
 
@@ -28,9 +35,9 @@ pub fn run(cfg: &RunCfg) -> Report {
         let mut est_bsp = Vec::new();
         for rep in 0..cfg.reps {
             let seed = cfg.seed(point, rep);
-            let machine = SimMachine::new(machine_cfg).with_seed(seed);
+            let machine = backend.machine(machine_cfg, seed);
             let (succ, pred, _head) = gen::random_list(n, seed ^ 0xDA7A);
-            let r = listrank::run_sim(&machine, &succ, &pred);
+            let r = listrank::run_on(&machine, &succ, &pred);
             totals.push(r.total());
             comms.push(r.comm());
             let est = listrank::predict_estimate(&r, &params);
@@ -43,8 +50,8 @@ pub fn run(cfg: &RunCfg) -> Report {
         let qsm_est = mean(&est_qsm);
         vec![
             n.to_string(),
-            format!("{:.1}", us_at_400mhz(mean(&totals))),
-            format!("{:.1}", us_at_400mhz(comm)),
+            format!("{:.1}", backend.us(mean(&totals))),
+            format!("{:.1}", backend.us(comm)),
             format!("{:.1}", us_at_400mhz(best.qsm)),
             format!("{:.1}", us_at_400mhz(whp.qsm)),
             format!("{:.1}", us_at_400mhz(qsm_est)),
@@ -77,7 +84,9 @@ mod tests {
 
     #[test]
     fn fig3_shape_holds() {
-        let rep = run(&RunCfg::fast());
+        // Pinned to sim: the band assertions compare against the
+        // simulated machine's analysis lines.
+        let rep = run_with(&RunCfg::fast(), Backend::Sim);
         let lines: Vec<&str> = rep.csv.lines().skip(1).collect();
         let col = |l: &str, i: usize| l.split(',').nth(i).unwrap().parse::<f64>().unwrap();
         for l in &lines {

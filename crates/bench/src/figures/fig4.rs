@@ -26,6 +26,7 @@ pub fn latencies(fast: bool) -> Vec<f64> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::backend::warn_sim_only("fig4");
     // Prediction lines use the default machine's effective costs:
     // QSM does not model latency, so its lines must not move.
     let params = EffectiveParams::measure(MachineConfig::paper_default(cfg.p));
@@ -78,7 +79,6 @@ mod tests {
             .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
             .collect();
         let sizes = cfg.sizes();
-        let lat = latencies(true);
         let comm = |li: usize, ni: usize| lines[li * sizes.len() + ni][2];
         // Higher latency -> higher measured comm at every n.
         for ni in 0..sizes.len() {

@@ -8,43 +8,48 @@
 //! avoid a catastrophic worst case. A native run on the host (padded
 //! atomics as banks) is appended as a real-hardware data point.
 
-use qsm_membank::{machine, run_native_all, simulate_all, Pattern};
+use qsm_membank::{machine, run_all, NativeBank, Pattern, Sample, SimBank};
 
 use crate::output::{csv, table};
 use crate::{Report, RunCfg};
 
-/// Run the experiment.
+/// Append one panel of (pattern, sample) rows, normalized against
+/// the panel's NoConflict time.
+fn push_panel(
+    rows: &mut Vec<Vec<String>>,
+    platform: &str,
+    samples: &[(Pattern, Sample)],
+    ns_decimals: usize,
+) {
+    let noc = samples.iter().find(|(p, _)| *p == Pattern::NoConflict).unwrap().1.avg_ns;
+    for (p, s) in samples {
+        rows.push(vec![
+            platform.to_string(),
+            p.label().to_string(),
+            format!("{:.*}", ns_decimals, s.avg_ns),
+            s.avg_queue_ns.map_or_else(|| "-".to_string(), |q| format!("{q:.0}")),
+            format!("{:.2}", s.avg_ns / noc),
+        ]);
+    }
+}
+
+/// Run the experiment. Every panel — the five simulated platforms
+/// and the host data point — goes through the same generic
+/// microbenchmark loop; only the [`qsm_membank::BankBackend`]
+/// differs.
 pub fn run(cfg: &RunCfg) -> Report {
     let accesses = if cfg.fast { 2_000 } else { 20_000 };
     let mut rows = Vec::new();
     for m in machine::figure7_machines() {
-        let results = simulate_all(&m, accesses, 0x1998);
-        let by = |p: Pattern| results.iter().find(|r| r.pattern == p).unwrap().avg_ns;
-        let noc = by(Pattern::NoConflict);
-        for r in &results {
-            rows.push(vec![
-                m.name.to_string(),
-                r.pattern.label().to_string(),
-                format!("{:.0}", r.avg_ns),
-                format!("{:.0}", r.avg_queue_ns),
-                format!("{:.2}", r.avg_ns / noc),
-            ]);
-        }
+        let samples = run_all(&SimBank { machine: &m, seed: 0x1998 }, accesses);
+        push_panel(&mut rows, m.name, &samples, 0);
     }
 
     // Native host data point.
     let threads = std::thread::available_parallelism().map(|c| c.get().min(8)).unwrap_or(4);
-    let native = run_native_all(threads, 8, if cfg.fast { 50_000 } else { 500_000 });
-    let noc = native.iter().find(|r| r.pattern == Pattern::NoConflict).unwrap().avg_ns;
-    for r in &native {
-        rows.push(vec![
-            format!("host ({threads} threads; native atomics)"),
-            r.pattern.label().to_string(),
-            format!("{:.1}", r.avg_ns),
-            "-".to_string(),
-            format!("{:.2}", r.avg_ns / noc),
-        ]);
-    }
+    let native =
+        run_all(&NativeBank { threads, banks: 8 }, if cfg.fast { 50_000 } else { 500_000 });
+    push_panel(&mut rows, &format!("host ({threads} threads; native atomics)"), &native, 1);
 
     let headers = ["platform", "pattern", "avg_ns", "queue_ns", "vs_noconflict"];
     Report {

@@ -19,6 +19,9 @@
 //! pool that runs independent measurement points concurrently
 //! (default `available_parallelism() / p`; `QSM_JOBS=1` is fully
 //! serial). Results are identical for every `QSM_JOBS` value.
+//! `QSM_BACKEND=sim|threads` (see [`backend`]) selects the
+//! [`qsm_core::Machine`] the algorithm figures run on — the
+//! deterministic simulator (default) or real host threads.
 //!
 //! Observability knobs (see [`obs`]): `QSM_TRACE=path.json` captures
 //! a Perfetto trace of the run, `QSM_METRICS=path.json` dumps the
@@ -29,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod figures;
 pub mod obs;
 pub mod output;

@@ -16,13 +16,14 @@
 //!   byte-identical for every `QSM_JOBS` value.
 //!
 //! The recorder is installed into the process-global slot read by
-//! every [`qsm_core::SimMachine`] ([`qsm_core::obs::install`] is
-//! first-call-wins), so no plumbing through figure code is needed.
+//! every [`qsm_core::Machine`] backend ([`qsm_core::obs::install`]
+//! is first-call-wins), so no plumbing through figure code is
+//! needed. Timestamps are in the `QSM_BACKEND`-selected backend's
+//! time unit (simulated cycles or host nanoseconds).
 
 use std::path::PathBuf;
 
 use qsm_core::obs::{self, ObsData, ObsLevel, Recorder};
-use qsm_simnet::CpuConfig;
 
 /// Where captured data goes when the run finishes.
 #[derive(Debug)]
@@ -59,7 +60,9 @@ impl ObsSink {
         };
         let rec = match level {
             Some(level) => {
-                let rec = Recorder::new(level, CpuConfig::default_1998().clock_hz);
+                // Timestamps carry the backend's time unit: simulated
+                // cycles at the model clock, or host nanoseconds.
+                let rec = Recorder::new(level, crate::backend::Backend::from_env().clock_hz());
                 obs::install(rec.clone());
                 // If another recorder won the install race (tests), emit
                 // into the live one so finalize sees the real capture.

@@ -83,6 +83,10 @@ pub struct CostReport {
     pub sqsm_total: f64,
     /// Predicted total time under BSP.
     pub bsp_total: f64,
+    /// Unit of the measured columns: `"cycles"` on the simulated
+    /// machine, `"ns"` on wall-clock backends. Predictions are always
+    /// in the model machine's cycles.
+    pub measured_unit: &'static str,
 }
 
 impl CostReport {
@@ -114,7 +118,15 @@ impl CostReport {
             logp_comm: profile.logp_comm_cost(&models.logp),
             sqsm_total: profile.sqsm_cost(&models.sqsm),
             bsp_total: profile.bsp_cost(&models.bsp),
+            measured_unit: "cycles",
         }
+    }
+
+    /// Relabel the measured columns' unit (wall-clock backends
+    /// measure in nanoseconds but predict in model cycles).
+    pub fn with_measured_unit(mut self, unit: &'static str) -> Self {
+        self.measured_unit = unit;
+        self
     }
 
     /// Relative error of a prediction against the measured
@@ -134,10 +146,11 @@ impl fmt::Display for CostReport {
         writeln!(f, "QSM run: p = {}, phases = {}", self.p, self.num_phases)?;
         writeln!(
             f,
-            "  measured: total {:>14.0}  compute {:>14.0}  comm {:>14.0}  (cycles)",
+            "  measured: total {:>14.0}  compute {:>14.0}  comm {:>14.0}  ({})",
             self.measured_total.get(),
             self.measured_compute.get(),
-            self.measured_comm.get()
+            self.measured_comm.get(),
+            self.measured_unit
         )?;
         writeln!(
             f,

@@ -263,6 +263,10 @@ impl Ctx {
         let payload = SyncPayload {
             proc: self.proc,
             charged: std::mem::take(&mut self.charged),
+            // Captured last, just before the send: wall-clock
+            // backends read this as "compute for the phase ended
+            // here" (the price stage's compute/comm split).
+            arrived: std::time::Instant::now(),
             ops: self.queued.take(),
             regs: regs.clone(),
             unregs: unregs.clone(),

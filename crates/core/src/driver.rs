@@ -2,14 +2,26 @@
 //!
 //! Worker threads run the user program; at each `sync()` they ship
 //! their queued operations *and their memory segments* to the driver,
-//! which then has exclusive ownership of the entire global memory. It
-//! validates collective calls, detects bulk-synchrony violations,
-//! serves gets (from the pre-put state), applies puts
-//! (deterministically: processor order, then issue order), meters the
-//! phase for the cost models, asks a [`SyncTimer`] how long the
-//! exchange took on the simulated (or real) machine, and hands the
-//! segments back. Ownership transfer through channels *is* the
-//! synchronization — the runtime contains no locks and no `unsafe`.
+//! which then has exclusive ownership of the entire global memory.
+//! Each rendezvous runs the same four-stage pipeline on every
+//! backend:
+//!
+//! 1. **plan** — validate collective calls, assign array ids, and
+//!    meter the phase: build the [`CommMatrix`], per-processor
+//!    counters, and the κ contention sweep.
+//! 2. **exchange** — take ownership of the memory, serve gets (from
+//!    the pre-put state), and apply puts (deterministically:
+//!    processor order, then issue order).
+//! 3. **price** — ask the backend's [`PhaseTimer`] what the phase
+//!    cost on the simulated (or real) machine.
+//! 4. **record** — emit observability spans/metrics and assemble the
+//!    [`PhaseRecord`] for the cost models.
+//!
+//! Afterwards the segments are handed back to the workers. Ownership
+//! transfer through channels *is* the synchronization — the runtime
+//! contains no locks and no `unsafe`.
+
+use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 use qsm_models::PhaseProfile;
@@ -17,6 +29,7 @@ use qsm_obs::{Recorder, SpanKind};
 use qsm_simnet::Cycles;
 
 use crate::addr::{for_each_owner_run, ArrayId, Layout};
+use crate::machine::PhaseTimer;
 use crate::ops::QueuedOps;
 use crate::shmem::{ArrayInfo, Registration, Segment};
 
@@ -44,6 +57,10 @@ pub(crate) enum WorkerMsg {
 pub(crate) struct SyncPayload {
     pub proc: usize,
     pub charged: u64,
+    /// Host instant at which the processor entered `sync()` —
+    /// wall-clock backends use it to split compute from
+    /// communication (the price stage).
+    pub arrived: Instant,
     pub ops: QueuedOps,
     pub regs: Vec<Registration>,
     pub unregs: Vec<ArrayId>,
@@ -182,15 +199,6 @@ pub struct PhaseRecord {
     pub payload_bytes: u64,
 }
 
-/// Strategy deciding how long a phase takes. The simulated machine
-/// implements this with the `qsm-simnet` network; the native thread
-/// machine implements it with wall-clock measurement.
-pub(crate) trait SyncTimer: Send {
-    /// `charged[i]` is processor `i`'s local-operation count for the
-    /// phase; `matrix` is the traffic it must exchange.
-    fn sync(&mut self, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming;
-}
-
 /// Per-array access ranges used for κ and conflict detection.
 #[derive(Default)]
 struct AccessRanges {
@@ -268,8 +276,9 @@ pub(crate) struct Driver {
     check_conflicts: bool,
     /// Observability sink (disabled unless a harness installed one).
     rec: Recorder,
-    /// Accumulated simulated time, for span start points.
-    sim_now: Cycles,
+    /// Accumulated machine time (simulated cycles, or host ns on
+    /// wall-clock backends), for span start points.
+    now: Cycles,
     phase_idx: u64,
     /// Global memory between hand-backs: `mem[array][proc]`. Slots are
     /// empty `Vec`s while workers hold the segments; the table shape
@@ -282,11 +291,22 @@ pub(crate) struct Driver {
     h_out_words: Vec<u64>,
     data_msgs_by: Vec<u64>,
     charged: Vec<u64>,
+    arrivals: Vec<Instant>,
     /// Dense by `ArrayId.0`, paired with the list of ids touched this
     /// phase (so clearing skips untouched arrays).
     accesses: Vec<AccessRanges>,
     touched_arrays: Vec<u32>,
     kappa_events: Vec<(usize, bool, i64, i64)>,
+}
+
+/// Everything the plan stage decides about a phase before any data
+/// moves: the registration changes and the metered traffic totals.
+struct PhasePlan {
+    new_arrays: Vec<ArrayInfo>,
+    unregs: Vec<ArrayId>,
+    kappa: u64,
+    data_msgs: u64,
+    payload_bytes: u64,
 }
 
 impl Driver {
@@ -298,7 +318,7 @@ impl Driver {
             infos: Vec::new(),
             check_conflicts,
             rec,
-            sim_now: Cycles::ZERO,
+            now: Cycles::ZERO,
             phase_idx: 0,
             mem: Vec::new(),
             matrix: CommMatrix::new(p),
@@ -307,6 +327,7 @@ impl Driver {
             h_out_words: vec![0; p],
             data_msgs_by: vec![0; p],
             charged: vec![0; p],
+            arrivals: Vec::with_capacity(p),
             accesses: Vec::new(),
             touched_arrays: Vec::new(),
             kappa_events: Vec::new(),
@@ -320,7 +341,7 @@ impl Driver {
         mut self,
         rx: &Receiver<WorkerMsg>,
         txs: &[Sender<DriverReply>],
-        timer: &mut dyn SyncTimer,
+        timer: &mut dyn PhaseTimer,
     ) -> Result<Vec<PhaseRecord>, Box<dyn std::any::Any + Send>> {
         let mut records = Vec::new();
         loop {
@@ -387,11 +408,28 @@ impl Driver {
         }
     }
 
+    /// One rendezvous: run the four pipeline stages, then hand the
+    /// memory back. Stage order is load-bearing — gets must be
+    /// served from the pre-put state, and pricing must see the full
+    /// metered matrix — but each stage is backend-agnostic.
     fn process_sync(
         &mut self,
         mut payloads: Vec<SyncPayload>,
-        timer: &mut dyn SyncTimer,
+        timer: &mut dyn PhaseTimer,
     ) -> (Vec<DriverReply>, PhaseRecord) {
+        let plan = self.plan_stage(&payloads);
+        let mut replies = self.exchange_stage(&mut payloads, &plan);
+        let timing = self.price_stage(&payloads, timer);
+        let record = self.record_stage(&plan, timing);
+        self.handback_stage(&mut replies, &plan);
+        (replies, record)
+    }
+
+    /// **Stage 1 — plan.** Validate collective registration calls,
+    /// assign ids to new arrays, and meter the phase: the traffic
+    /// matrix, per-processor h/message counters, and the κ
+    /// contention sweep. No data moves yet.
+    fn plan_stage(&mut self, payloads: &[SyncPayload]) -> PhasePlan {
         let this = &mut *self;
         let p = this.p;
 
@@ -431,21 +469,9 @@ impl Driver {
             );
         }
 
-        // --- Take ownership of the global memory: mem[array][proc].
-        // The table shape persists across phases; segments swap in
-        // here and swap back out at hand-back, leaving each payload's
-        // (also persistent) table empty in between.
-        for payload in payloads.iter_mut() {
-            let proc = payload.proc;
-            debug_assert_eq!(payload.segments.len(), this.mem.len());
-            for (aidx, slot) in payload.segments.iter_mut().enumerate() {
-                std::mem::swap(slot, &mut this.mem[aidx][proc]);
-            }
-        }
-
         // --- Metering: comm matrix, per-proc counters, κ sweep ---
         debug_assert!(this.matrix.is_empty());
-        for payload in &payloads {
+        for payload in payloads {
             let src = payload.proc;
             for op in &payload.ops.puts {
                 let info = info_for_op(&this.infos, &new_arrays, op.array);
@@ -542,6 +568,32 @@ impl Driver {
             });
         }
 
+        PhasePlan { new_arrays, unregs, kappa, data_msgs, payload_bytes }
+    }
+
+    /// **Stage 2 — exchange.** Take ownership of the global memory,
+    /// serve gets from the PRE-put state, and apply puts in
+    /// deterministic order (processor order, then issue order).
+    fn exchange_stage(
+        &mut self,
+        payloads: &mut [SyncPayload],
+        plan: &PhasePlan,
+    ) -> Vec<DriverReply> {
+        let this = &mut *self;
+        let p = this.p;
+
+        // --- Take ownership of the global memory: mem[array][proc].
+        // The table shape persists across phases; segments swap in
+        // here and swap back out at hand-back, leaving each payload's
+        // (also persistent) table empty in between.
+        for payload in payloads.iter_mut() {
+            let proc = payload.proc;
+            debug_assert_eq!(payload.segments.len(), this.mem.len());
+            for (aidx, slot) in payload.segments.iter_mut().enumerate() {
+                std::mem::swap(slot, &mut this.mem[aidx][proc]);
+            }
+        }
+
         // --- Serve gets from the PRE-put state ---
         // Replies reuse the payloads' segment tables (now empty).
         let mut replies: Vec<DriverReply> = payloads
@@ -551,9 +603,9 @@ impl Driver {
                 results: Vec::new(),
             })
             .collect();
-        for payload in &payloads {
+        for payload in payloads.iter() {
             for op in &payload.ops.gets {
-                let info = info_for_op(&this.infos, &new_arrays, op.array);
+                let info = info_for_op(&this.infos, &plan.new_arrays, op.array);
                 let aidx = op.array.0 as usize;
                 assert!(
                     aidx < this.mem.len(),
@@ -579,9 +631,9 @@ impl Driver {
         }
 
         // --- Apply puts: processor order, then issue order ---
-        for payload in &payloads {
+        for payload in payloads.iter() {
             for op in &payload.ops.puts {
-                let info = info_for_op(&this.infos, &new_arrays, op.array);
+                let info = info_for_op(&this.infos, &plan.new_arrays, op.array);
                 let aidx = op.array.0 as usize;
                 assert!(
                     aidx < this.mem.len(),
@@ -606,21 +658,37 @@ impl Driver {
             }
         }
 
-        // --- Timing ---
-        this.charged.clear();
-        this.charged.extend(payloads.iter().map(|pl| pl.charged));
-        let timing = timer.sync(&this.charged, &this.matrix);
+        replies
+    }
+
+    /// **Stage 3 — price.** Hand the metered phase to the backend's
+    /// [`PhaseTimer`]: charged local operations, the traffic matrix,
+    /// and each worker's `sync()` arrival instant.
+    fn price_stage(&mut self, payloads: &[SyncPayload], timer: &mut dyn PhaseTimer) -> PhaseTiming {
+        self.charged.clear();
+        self.charged.extend(payloads.iter().map(|pl| pl.charged));
+        self.arrivals.clear();
+        self.arrivals.extend(payloads.iter().map(|pl| pl.arrived));
+        timer.price(&self.charged, &self.matrix, &self.arrivals)
+    }
+
+    /// **Stage 4 — record.** Emit observability counters/spans and
+    /// assemble the [`PhaseRecord`] the cost models consume. Runs
+    /// identically on every backend; only the time unit differs.
+    fn record_stage(&mut self, plan: &PhasePlan, timing: PhaseTiming) -> PhaseRecord {
+        let this = &mut *self;
+        let p = this.p;
 
         // --- Observability: phase spans on the machine track carry
         // the phase timing verbatim (dur, not endpoints), so the comm
         // spans of a run sum to `CostReport.measured_comm` exactly.
         if this.rec.is_enabled() {
             this.rec.add("phases", 1);
-            this.rec.add("data_msgs", data_msgs);
-            this.rec.add("payload_bytes", payload_bytes);
-            this.rec.observe("kappa", kappa);
+            this.rec.add("data_msgs", plan.data_msgs);
+            this.rec.add("payload_bytes", plan.payload_bytes);
+            this.rec.observe("kappa", plan.kappa);
             if this.rec.is_full() {
-                let t0 = this.sim_now;
+                let t0 = this.now;
                 this.rec.span(SpanKind::PhaseCompute, this.phase_idx, 0, t0, timing.compute);
                 this.rec.span(
                     SpanKind::PhaseComm,
@@ -629,10 +697,10 @@ impl Driver {
                     t0 + timing.compute,
                     timing.comm,
                 );
-                this.rec.counter("kappa", 0, t0 + timing.elapsed, kappa as f64);
+                this.rec.counter("kappa", 0, t0 + timing.elapsed, plan.kappa as f64);
             }
         }
-        this.sim_now += timing.elapsed;
+        this.now += timing.elapsed;
         this.phase_idx += 1;
 
         // --- Profile ---
@@ -647,10 +715,25 @@ impl Driver {
                 msgs: this.data_msgs_by[i],
             });
         }
-        profile.kappa = kappa;
+        profile.kappa = plan.kappa;
+
+        PhaseRecord {
+            profile,
+            timing,
+            data_msgs: plan.data_msgs,
+            payload_bytes: plan.payload_bytes,
+        }
+    }
+
+    /// Install newly registered arrays, drop unregistered ones, hand
+    /// the memory segments back to the workers, and reset the pooled
+    /// per-phase scratch for the next rendezvous.
+    fn handback_stage(&mut self, replies: &mut [DriverReply], plan: &PhasePlan) {
+        let this = &mut *self;
+        let p = this.p;
 
         // --- Install new arrays; drop unregistered; hand memory back ---
-        for info in &new_arrays {
+        for info in &plan.new_arrays {
             debug_assert_eq!(info.id.0 as usize, this.infos.len());
             this.infos.push(Some(info.clone()));
             this.accesses.push(AccessRanges::default());
@@ -660,7 +743,7 @@ impl Driver {
                     .collect(),
             );
         }
-        for id in &unregs {
+        for id in &plan.unregs {
             this.infos[id.0 as usize] = None;
             for slot in &mut this.mem[id.0 as usize] {
                 *slot = Segment::new();
@@ -685,9 +768,6 @@ impl Driver {
             this.accesses[aid as usize].clear();
         }
         this.touched_arrays.clear();
-
-        let record = PhaseRecord { profile, timing, data_msgs, payload_bytes };
-        (replies, record)
     }
 }
 

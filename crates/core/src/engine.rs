@@ -1,0 +1,81 @@
+//! The shared run engine: one pipeline for every backend.
+//!
+//! [`run`] is the only place in the workspace that spawns QSM
+//! workers and drives the phase loop. A [`Machine`] contributes just
+//! its configuration and its [`PhaseTimer`]; everything else — the
+//! rendezvous channels, the worker panic protocol, the driver's
+//! plan → exchange → price → record stages, the ambient
+//! observability hookup, and the final profile/report assembly — is
+//! identical across backends, which is what makes cross-backend
+//! comparisons of the resulting [`RunResult`]s meaningful.
+
+use crossbeam::channel::{bounded, unbounded};
+use qsm_models::ProgramProfile;
+
+use crate::ctx::Ctx;
+use crate::driver::Driver;
+use crate::machine::{Machine, RunResult};
+
+/// Run `program` on every processor of `machine` and price the run.
+pub(crate) fn run<M, R, F>(machine: &M, program: F) -> RunResult<R>
+where
+    M: Machine,
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    let p = machine.nprocs();
+    let (worker_tx, driver_rx) = unbounded();
+    let mut reply_txs = Vec::with_capacity(p);
+    let mut reply_rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = bounded(1);
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
+    }
+
+    // Ambient observability: emit into whatever recorder the harness
+    // installed (disabled — and free — by default). Driver and timer
+    // share it, so both backends feed the same capture.
+    let rec = crate::obs::recorder();
+    let driver = Driver::new(p, machine.check_conflicts(), rec.clone());
+    let mut timer = machine.make_timer(rec);
+    let program = &program;
+    let seed = machine.seed();
+
+    let scope_result = crossbeam::thread::scope(move |scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (proc, rx) in reply_rxs.into_iter().enumerate() {
+            let tx = worker_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                let panic_tx = tx.clone();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = Ctx::new(proc, p, seed, tx, rx);
+                    let out = program(&mut ctx);
+                    ctx.finish();
+                    out
+                }));
+                match result {
+                    Ok(out) => Some(out),
+                    Err(payload) => {
+                        let _ = panic_tx.send(crate::driver::WorkerMsg::Panicked(payload));
+                        None
+                    }
+                }
+            }));
+        }
+        drop(worker_tx);
+        let driver_result = driver.run(&driver_rx, &reply_txs, &mut timer);
+        drop(reply_txs); // release any workers still blocked in sync()
+        Driver::collect_outputs(handles, driver_result)
+    });
+    let (outputs, phases) = match scope_result {
+        Ok(v) => v,
+        // The driver panicked on the scope thread (e.g. a collective
+        // violation): re-raise with its own message.
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
+    let report = machine.make_report(&phases);
+    RunResult { outputs, phases, profile, report }
+}

@@ -10,33 +10,45 @@
 //! of the paper: hide `l` and `o` by pipelining and batching).
 //!
 //! Programs are ordinary Rust closures over a [`Ctx`] and run
-//! unmodified on two machines:
+//! unmodified on every [`Machine`] backend — one shared engine
+//! (plan → exchange → price → record) with a per-backend
+//! [`PhaseTimer`] deciding what each phase costs:
 //!
 //! * [`SimMachine`] — `p` simulated processors priced by the
 //!   `qsm-simnet` network model; produces exact simulated cycle
 //!   counts plus QSM/s-QSM/BSP/LogP predictions per run.
-//! * [`ThreadMachine`] — `p` real host threads with wall-clock
-//!   timing, for actually-parallel execution (criterion benches).
+//! * [`ThreadMachine`] — `p` real host threads priced by the wall
+//!   clock (nanoseconds), for actually-parallel execution.
 //!
-//! ## Example
+//! ## Example: one program, two backends
+//!
+//! Write the program once, generically over [`Machine`]; run it on
+//! both machines; the outputs (and the phase structure, profile, and
+//! traffic accounting) are identical — only the time unit differs.
 //!
 //! ```
-//! use qsm_core::{Layout, SimMachine};
+//! use qsm_core::{Layout, Machine, SimMachine, ThreadMachine};
 //! use qsm_simnet::MachineConfig;
 //!
-//! let machine = SimMachine::new(MachineConfig::paper_default(4));
-//! let run = machine.run(|ctx| {
-//!     let arr = ctx.register::<u64>("ring", ctx.nprocs(), Layout::Block);
-//!     ctx.sync();
-//!     let me = ctx.proc_id();
-//!     ctx.put(&arr, me, &[me as u64 * 10]);
-//!     ctx.sync();
-//!     let t = ctx.get(&arr, (me + 1) % ctx.nprocs(), 1);
-//!     ctx.sync();
-//!     ctx.take(t)[0]
-//! });
-//! assert_eq!(run.outputs, vec![10, 20, 30, 0]);
-//! assert_eq!(run.num_phases(), 3);
+//! fn rotate<M: Machine>(machine: &M) -> Vec<u64> {
+//!     let run = machine.run(|ctx| {
+//!         let arr = ctx.register::<u64>("ring", ctx.nprocs(), Layout::Block);
+//!         ctx.sync();
+//!         let me = ctx.proc_id();
+//!         ctx.put(&arr, me, &[me as u64 * 10]);
+//!         ctx.sync();
+//!         let t = ctx.get(&arr, (me + 1) % ctx.nprocs(), 1);
+//!         ctx.sync();
+//!         ctx.take(t)[0]
+//!     });
+//!     assert_eq!(run.num_phases(), 3);
+//!     run.outputs
+//! }
+//!
+//! let sim = SimMachine::new(MachineConfig::paper_default(4));
+//! let threads = ThreadMachine::new(4);
+//! assert_eq!(rotate(&sim), vec![10, 20, 30, 0]);
+//! assert_eq!(rotate(&sim), rotate(&threads));
 //! ```
 
 #![deny(missing_docs)]
@@ -47,6 +59,8 @@ pub mod addr;
 pub mod calibrate;
 pub mod ctx;
 mod driver;
+mod engine;
+pub mod machine;
 pub mod obs;
 pub mod ops;
 pub mod shmem;
@@ -60,9 +74,10 @@ pub use addr::{ArrayId, Layout};
 pub use calibrate::EffectiveCosts;
 pub use ctx::Ctx;
 pub use driver::{CommMatrix, PairTraffic, PhaseRecord, PhaseTiming};
+pub use machine::{AnyMachine, AnyTimer, Machine, PhaseTimer, RunResult};
 pub use ops::GetTicket;
 pub use shmem::SharedArray;
-pub use sim_runtime::{RunResult, SimMachine};
-pub use sim_timer::empty_sync_cost;
-pub use thread_runtime::{ThreadMachine, ThreadRunResult};
+pub use sim_runtime::SimMachine;
+pub use sim_timer::{empty_sync_cost, SimTimer};
+pub use thread_runtime::{ThreadMachine, ThreadRunResult, WallTimer};
 pub use word::Word;

@@ -1,14 +1,15 @@
 //! Process-global observability hookup.
 //!
-//! [`SimMachine`](crate::SimMachine) is a small `Copy` configuration
-//! value; threading a recorder through every machine, figure sweep,
-//! and algorithm signature would ripple through the whole workspace
-//! for a facility that is off in production. Instead the recorder is
+//! A [`Machine`](crate::Machine) is a small configuration value;
+//! threading a recorder through every machine, figure sweep, and
+//! algorithm signature would ripple through the whole workspace for
+//! a facility that is off in production. Instead the recorder is
 //! ambient: a harness (e.g. `qsm-bench` reading `QSM_TRACE` /
-//! `QSM_METRICS`) calls [`install`] once at startup, and every
-//! simulated run in the process emits into it. When nothing is
-//! installed, [`recorder`] hands out disabled recorders and every
-//! record call is an inlined early return — the zero-overhead default.
+//! `QSM_METRICS`) calls [`install`] once at startup, and every run
+//! in the process — simulated or native — emits into it through the
+//! shared engine. When nothing is installed, [`recorder`] hands out
+//! disabled recorders and every record call is an inlined early
+//! return — the zero-overhead default.
 //!
 //! Calibration runs ([`crate::SimMachine::empty_sync_cost`] and the
 //! warm-up machines in [`crate::calibrate`]) are priced on
@@ -17,7 +18,7 @@
 
 use std::sync::OnceLock;
 
-pub use qsm_obs::{ObsData, ObsLevel, Recorder};
+pub use qsm_obs::{ObsData, ObsLevel, Recorder, Span, SpanKind};
 
 static RECORDER: OnceLock<Recorder> = OnceLock::new();
 

@@ -1,78 +1,24 @@
 //! The simulated QSM machine.
 //!
-//! [`SimMachine::run`] executes a QSM program — an ordinary Rust
-//! closure receiving a [`Ctx`] — on `p` *simulated* processors. Each
-//! simulated processor is an OS thread running the closure; simulated
-//! time advances only inside `sync()`, where the driver prices the
-//! phase on the configured [`MachineConfig`] using the `qsm-simnet`
-//! network model. Results are bit-exact reproducible for a given
-//! machine seed.
+//! [`SimMachine`] executes a QSM program — an ordinary Rust closure
+//! receiving a [`Ctx`] — on `p` *simulated* processors, through the
+//! same engine as every other backend. Each simulated processor is
+//! an OS thread running the closure; simulated time advances only
+//! inside `sync()`, where the driver's price stage runs the
+//! configured [`MachineConfig`] through the `qsm-simnet` network
+//! model. Results are bit-exact reproducible for a given machine
+//! seed.
 
-use crossbeam::channel::{bounded, unbounded};
-use qsm_models::ProgramProfile;
+use qsm_obs::Recorder;
 use qsm_simnet::{Cycles, MachineConfig};
 
 use crate::accounting::CostReport;
 use crate::ctx::Ctx;
-use crate::driver::{Driver, PhaseRecord};
+use crate::driver::PhaseRecord;
+use crate::machine::Machine;
 use crate::sim_timer::{empty_sync_cost, SimTimer};
 
-/// Outcome of one program run.
-#[derive(Debug)]
-pub struct RunResult<R> {
-    /// Each processor's return value, indexed by processor id.
-    pub outputs: Vec<R>,
-    /// One record per phase, in execution order.
-    pub phases: Vec<PhaseRecord>,
-    /// The model-facing profile (per-phase maxima).
-    pub profile: ProgramProfile,
-    /// Measured and predicted cost summary.
-    pub report: CostReport,
-}
-
-impl<R> RunResult<R> {
-    /// Total measured time.
-    pub fn total(&self) -> Cycles {
-        self.report.measured_total
-    }
-
-    /// Total measured communication time (time inside `sync()`).
-    pub fn comm(&self) -> Cycles {
-        self.report.measured_comm
-    }
-
-    /// Total measured local-compute time.
-    pub fn compute(&self) -> Cycles {
-        self.report.measured_compute
-    }
-
-    /// Number of phases executed.
-    pub fn num_phases(&self) -> usize {
-        self.phases.len()
-    }
-
-    /// Render a per-phase breakdown: measured timing plus the
-    /// profile quantities each cost model charges for.
-    pub fn phase_table(&self) -> String {
-        let mut out = String::from(
-            "phase     elapsed     compute        comm    m_op   m_rw  kappa   msgs  payload_B\n",
-        );
-        for (k, r) in self.phases.iter().enumerate() {
-            out.push_str(&format!(
-                "{k:>5} {:>11.0} {:>11.0} {:>11.0} {:>7} {:>6} {:>6} {:>6} {:>10}\n",
-                r.timing.elapsed.get(),
-                r.timing.compute.get(),
-                r.timing.comm.get(),
-                r.profile.m_op,
-                r.profile.m_rw,
-                r.profile.kappa,
-                r.profile.msgs,
-                r.payload_bytes,
-            ));
-        }
-        out
-    }
-}
+pub use crate::machine::RunResult;
 
 /// A simulated QSM machine.
 #[derive(Debug, Clone, Copy)]
@@ -111,66 +57,46 @@ impl SimMachine {
     }
 
     /// Run `program` on every simulated processor and price the run.
+    /// Equivalent to the generic [`Machine::run`]; kept inherent so
+    /// callers need no trait import.
     pub fn run<R, F>(&self, program: F) -> RunResult<R>
     where
         R: Send,
         F: Fn(&mut Ctx) -> R + Send + Sync,
     {
-        let p = self.cfg.p;
-        let (worker_tx, driver_rx) = unbounded();
-        let mut reply_txs = Vec::with_capacity(p);
-        let mut reply_rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = bounded(1);
-            reply_txs.push(tx);
-            reply_rxs.push(rx);
-        }
+        crate::engine::run(self, program)
+    }
+}
 
-        // Ambient observability: emit into whatever recorder the
-        // harness installed (disabled — and free — by default).
-        let rec = crate::obs::recorder();
-        let driver = Driver::new(p, self.check_conflicts, rec.clone());
-        let program = &program;
-        let seed = self.seed;
-        let cfg = self.cfg;
+impl Machine for SimMachine {
+    type Timer = SimTimer;
 
-        let scope_result = crossbeam::thread::scope(move |scope| {
-            let mut timer = SimTimer::with_recorder(cfg, rec);
-            let mut handles = Vec::with_capacity(p);
-            for (proc, rx) in reply_rxs.into_iter().enumerate() {
-                let tx = worker_tx.clone();
-                handles.push(scope.spawn(move |_| {
-                    let panic_tx = tx.clone();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut ctx = Ctx::new(proc, p, seed, tx, rx);
-                        let out = program(&mut ctx);
-                        ctx.finish();
-                        out
-                    }));
-                    match result {
-                        Ok(out) => Some(out),
-                        Err(payload) => {
-                            let _ = panic_tx.send(crate::driver::WorkerMsg::Panicked(payload));
-                            None
-                        }
-                    }
-                }));
-            }
-            drop(worker_tx);
-            let driver_result = driver.run(&driver_rx, &reply_txs, &mut timer);
-            drop(reply_txs); // release any workers still blocked in sync()
-            Driver::collect_outputs(handles, driver_result)
-        });
-        let (outputs, phases) = match scope_result {
-            Ok(v) => v,
-            // The driver panicked on the scope thread (e.g. a
-            // collective violation): re-raise with its own message.
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
+    fn nprocs(&self) -> usize {
+        self.cfg.p
+    }
 
-        let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
-        let report = CostReport::build(&self.cfg, &phases, self.empty_sync_cost().get());
-        RunResult { outputs, phases, profile, report }
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn check_conflicts(&self) -> bool {
+        self.check_conflicts
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn time_unit(&self) -> &'static str {
+        "cycles"
+    }
+
+    fn make_timer(&self, rec: Recorder) -> SimTimer {
+        SimTimer::with_recorder(self.cfg, rec)
+    }
+
+    fn make_report(&self, phases: &[PhaseRecord]) -> CostReport {
+        CostReport::build(&self.cfg, phases, self.empty_sync_cost().get())
     }
 }
 

@@ -18,7 +18,8 @@ use qsm_simnet::{
     Network,
 };
 
-use crate::driver::{CommMatrix, PhaseTiming, SyncTimer};
+use crate::driver::{CommMatrix, PhaseTiming};
+use crate::machine::PhaseTimer;
 
 /// Wire bytes of one plan entry (get count + put count for one pair).
 const PLAN_ENTRY_BYTES: u64 = 16;
@@ -425,8 +426,15 @@ impl SimTimer {
     }
 }
 
-impl SyncTimer for SimTimer {
-    fn sync(&mut self, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming {
+impl PhaseTimer for SimTimer {
+    /// Simulated pricing ignores host arrival instants: simulated
+    /// time advances only from charged operations and the network.
+    fn price(
+        &mut self,
+        charged: &[u64],
+        matrix: &CommMatrix,
+        _arrivals: &[std::time::Instant],
+    ) -> PhaseTiming {
         let local_finish: Vec<Cycles> = charged
             .iter()
             .zip(&self.phase_start)
@@ -473,7 +481,7 @@ pub fn empty_sync_cost(cfg: MachineConfig) -> Cycles {
     let mut timer = SimTimer::new(cfg);
     let charged = vec![0u64; cfg.p];
     let matrix = CommMatrix::new(cfg.p);
-    timer.sync(&charged, &matrix).elapsed
+    timer.price(&charged, &matrix, &[]).elapsed
 }
 
 #[cfg(test)]
@@ -482,7 +490,7 @@ mod tests {
 
     fn timing(cfg: MachineConfig, charged: &[u64], matrix: &CommMatrix) -> PhaseTiming {
         let mut t = SimTimer::new(cfg);
-        t.sync(charged, matrix)
+        t.price(charged, matrix, &[])
     }
 
     #[test]
@@ -583,7 +591,7 @@ mod tests {
         let m = CommMatrix::new(4);
         let mut last = Cycles::ZERO;
         for k in 1..5u64 {
-            let timing = t.sync(&[k * 100; 4], &m);
+            let timing = t.price(&[k * 100; 4], &m, &[]);
             assert!(timing.elapsed.get() > 0.0);
             assert!(t.now() > last);
             last = t.now();
@@ -624,7 +632,7 @@ mod tests {
             c.put_words = 10;
             c.put_payload_bytes = 40;
         }
-        let timing = t.sync(&[1_000; 4], &m);
+        let timing = t.price(&[1_000; 4], &m, &[]);
         let data = rec.take().unwrap();
         // One compute / comm-busy / barrier-wait lane span per proc.
         for kind in [SpanKind::Compute, SpanKind::CommBusy, SpanKind::BarrierWait] {
@@ -668,8 +676,8 @@ mod tests {
             c.get_reply_payload_bytes = 200;
         }
         for k in 1..4u64 {
-            let a = plain.sync(&[k * 500; 8], &m);
-            let b = observed.sync(&[k * 500; 8], &m);
+            let a = plain.price(&[k * 500; 8], &m, &[]);
+            let b = observed.price(&[k * 500; 8], &m, &[]);
             assert_eq!(a, b, "phase {k}");
         }
     }

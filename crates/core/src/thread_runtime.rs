@@ -1,67 +1,126 @@
 //! The native QSM machine: same programming model, real threads.
 //!
 //! [`ThreadMachine`] executes a QSM program on `p` host OS threads
-//! with real wall-clock timing, using the identical driver and
-//! context as [`crate::SimMachine`] — so every algorithm written once
-//! runs unmodified on both. This is the workspace's "run on actual
-//! parallel hardware" backend (the paper's NOW/SMP role), used by the
-//! criterion benches.
+//! with real wall-clock timing, through the identical engine, driver
+//! and context as [`crate::SimMachine`] — so every algorithm written
+//! once runs unmodified on both, produces the same
+//! [`crate::PhaseRecord`] stream (κ and message accounting come from
+//! the same `CommMatrix` metering), feeds the same observability
+//! recorder, and yields a [`crate::CostReport`]. This is the
+//! workspace's "run on actual parallel hardware" backend (the
+//! paper's NOW/SMP role), used by the criterion benches.
 //!
-//! Timing units: the [`crate::driver::PhaseTiming`] fields are
+//! Timing units: the [`crate::PhaseTiming`] fields are
 //! **nanoseconds** here (the `Cycles` newtype is reused as a plain
 //! number container). The phase `compute` component is the interval
-//! between barrier release and the last `sync()` arrival, measured on
-//! the driver; `comm` is the driver's exchange-processing time.
+//! between the previous barrier release and the *last* worker's
+//! `sync()` arrival; `comm` is the remainder of the phase — the
+//! exchange processing plus barrier — exactly the quantity the
+//! simulated backend prices with its network model.
+//!
+//! The [`crate::CostReport`] attached to a native run predicts with
+//! the machine's *model configuration* (default:
+//! `MachineConfig::paper_default(p)`), so predicted columns are in
+//! simulated cycles while measured columns are host nanoseconds;
+//! they share phase structure and traffic, not a unit. Use
+//! [`ThreadMachine::with_model_config`] to predict against a
+//! different reference machine.
 
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded};
-use qsm_models::ProgramProfile;
-use qsm_simnet::Cycles;
+use qsm_obs::{Recorder, Span, SpanKind};
+use qsm_simnet::{Cycles, MachineConfig};
 
+use crate::accounting::CostReport;
 use crate::ctx::Ctx;
-use crate::driver::{CommMatrix, Driver, PhaseRecord, PhaseTiming, SyncTimer};
+use crate::driver::{CommMatrix, PhaseRecord, PhaseTiming};
+use crate::machine::{Machine, PhaseTimer, RunResult};
+use crate::sim_timer::empty_sync_cost;
 
-/// Wall-clock timer: phases are priced by elapsed real time.
-struct WallTimer {
+/// Wall-clock timer: phases are priced by elapsed real time, split
+/// at the last worker's `sync()` arrival.
+pub struct WallTimer {
     run_start: Instant,
-    last_release: f64,
+    last_release: Instant,
+    rec: Recorder,
+    phase_idx: u64,
 }
 
 impl WallTimer {
-    fn new() -> Self {
-        Self { run_start: Instant::now(), last_release: 0.0 }
+    /// A fresh timer emitting per-processor spans into `rec` (when
+    /// the recorder captures at full level). Time zero is "now".
+    pub fn with_recorder(rec: Recorder) -> Self {
+        let now = Instant::now();
+        Self { run_start: now, last_release: now, rec, phase_idx: 0 }
+    }
+
+    /// Nanoseconds from the run epoch to `t`, as a span timestamp.
+    fn ns_since_start(&self, t: Instant) -> Cycles {
+        Cycles::new(t.saturating_duration_since(self.run_start).as_nanos() as f64)
     }
 }
 
-impl SyncTimer for WallTimer {
-    fn sync(&mut self, _charged: &[u64], _matrix: &CommMatrix) -> PhaseTiming {
+impl PhaseTimer for WallTimer {
+    fn price(
+        &mut self,
+        _charged: &[u64],
+        _matrix: &CommMatrix,
+        arrivals: &[Instant],
+    ) -> PhaseTiming {
         // Called by the driver after all workers arrived and data has
         // been applied; "now" is effectively the end of the exchange.
-        let now = self.run_start.elapsed().as_nanos() as f64;
-        let elapsed = now - self.last_release;
+        let now = Instant::now();
+        let elapsed = now.saturating_duration_since(self.last_release).as_nanos() as f64;
+        // Compute ends when the last worker reaches sync(): the
+        // machine-wide phase structure (as in the simulated backend,
+        // where `compute` is the slowest processor's local work).
+        let compute = arrivals
+            .iter()
+            .map(|&a| a.saturating_duration_since(self.last_release).as_nanos() as f64)
+            .fold(0.0, f64::max)
+            .min(elapsed);
+
+        if self.rec.is_full() && !arrivals.is_empty() {
+            let phase = self.phase_idx;
+            let release = self.ns_since_start(self.last_release);
+            let end = self.ns_since_start(now);
+            let spans = arrivals.iter().enumerate().flat_map(|(i, &a)| {
+                let lane = i as u32;
+                let arr = self.ns_since_start(a).max(release).min(end);
+                [
+                    // Per-processor lanes: local work until this
+                    // worker's own arrival, then waiting on the
+                    // exchange + barrier until the driver releases
+                    // everyone (there is no per-processor comm-busy
+                    // interval on this backend — the driver performs
+                    // the exchange centrally).
+                    Span {
+                        kind: SpanKind::Compute,
+                        phase,
+                        lane,
+                        start: release,
+                        dur: arr - release,
+                    },
+                    Span { kind: SpanKind::BarrierWait, phase, lane, start: arr, dur: end - arr },
+                ]
+            });
+            self.rec.spans(spans);
+        }
+
+        self.phase_idx += 1;
         self.last_release = now;
         PhaseTiming {
             elapsed: Cycles::new(elapsed),
-            compute: Cycles::ZERO,
-            comm: Cycles::new(elapsed),
+            compute: Cycles::new(compute),
+            comm: Cycles::new(elapsed - compute),
         }
     }
 }
 
-/// Result of one native run.
-#[derive(Debug)]
-pub struct ThreadRunResult<R> {
-    /// Each processor's return value, indexed by processor id.
-    pub outputs: Vec<R>,
-    /// One record per phase (timing in nanoseconds).
-    pub phases: Vec<PhaseRecord>,
-    /// The model-facing profile — identical to what the simulated
-    /// machine would record, since metering is layout-driven.
-    pub profile: ProgramProfile,
-    /// Total wall-clock nanoseconds.
-    pub wall_nanos: f64,
-}
+/// Result of one native run: the same [`RunResult`] every backend
+/// produces (timing fields in nanoseconds). Kept as an alias for the
+/// pre-unification spelling.
+pub type ThreadRunResult<R> = RunResult<R>;
 
 /// A native (host-thread) QSM machine.
 #[derive(Debug, Clone, Copy)]
@@ -69,13 +128,19 @@ pub struct ThreadMachine {
     p: usize,
     seed: u64,
     check_conflicts: bool,
+    model_cfg: MachineConfig,
 }
 
 impl ThreadMachine {
     /// Create a `p`-thread machine.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1);
-        Self { p, seed: 0x1998_0021, check_conflicts: true }
+        Self {
+            p,
+            seed: 0x1998_0021,
+            check_conflicts: true,
+            model_cfg: MachineConfig::paper_default(p),
+        }
     }
 
     /// Replace the RNG seed.
@@ -90,68 +155,112 @@ impl ThreadMachine {
         self
     }
 
+    /// Replace the reference machine the [`CostReport`] predictions
+    /// are computed against (default: the paper machine at this
+    /// processor count). Predictions stay in that machine's cycles;
+    /// measured values stay in host nanoseconds.
+    pub fn with_model_config(mut self, cfg: MachineConfig) -> Self {
+        assert_eq!(cfg.p, self.p, "model config processor count must match the machine");
+        self.model_cfg = cfg;
+        self
+    }
+
+    /// The reference machine used for model predictions.
+    pub fn model_config(&self) -> &MachineConfig {
+        &self.model_cfg
+    }
+
     /// Number of threads.
     pub fn nprocs(&self) -> usize {
         self.p
     }
 
-    /// Run `program` on every thread.
-    pub fn run<R, F>(&self, program: F) -> ThreadRunResult<R>
+    /// Run `program` on every thread. Equivalent to the generic
+    /// [`Machine::run`]; kept inherent so callers need no trait
+    /// import.
+    pub fn run<R, F>(&self, program: F) -> RunResult<R>
     where
         R: Send,
         F: Fn(&mut Ctx) -> R + Send + Sync,
     {
-        let p = self.p;
-        let (worker_tx, driver_rx) = unbounded();
-        let mut reply_txs = Vec::with_capacity(p);
-        let mut reply_rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = bounded(1);
-            reply_txs.push(tx);
-            reply_rxs.push(rx);
+        crate::engine::run(self, program)
+    }
+}
+
+impl Machine for ThreadMachine {
+    type Timer = WallTimer;
+
+    fn nprocs(&self) -> usize {
+        self.p
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn check_conflicts(&self) -> bool {
+        self.check_conflicts
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn time_unit(&self) -> &'static str {
+        "ns"
+    }
+
+    fn make_timer(&self, rec: Recorder) -> WallTimer {
+        WallTimer::with_recorder(rec)
+    }
+
+    fn make_report(&self, phases: &[PhaseRecord]) -> CostReport {
+        CostReport::build(&self.model_cfg, phases, empty_sync_cost(self.model_cfg).get())
+            .with_measured_unit("ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wall_timer_splits_compute_at_last_arrival() {
+        let mut t = WallTimer::with_recorder(Recorder::disabled());
+        let release = t.last_release;
+        std::thread::sleep(Duration::from_millis(5));
+        let arrivals = [release + Duration::from_millis(2), Instant::now()];
+        let timing = t.price(&[0, 0], &CommMatrix::new(2), &arrivals);
+        assert!(timing.elapsed.get() > 0.0);
+        assert!(timing.compute.get() > 0.0, "compute must not be booked as comm");
+        assert!(timing.comm.get() >= 0.0);
+        let sum = timing.compute.get() + timing.comm.get();
+        assert!((sum - timing.elapsed.get()).abs() < 1e-6);
+        // The last arrival was "now": nearly the whole phase is
+        // compute, and comm is only the (tiny) residual exchange.
+        assert!(timing.compute > timing.comm);
+    }
+
+    #[test]
+    fn wall_timer_with_no_arrivals_books_all_as_comm() {
+        let mut t = WallTimer::with_recorder(Recorder::disabled());
+        std::thread::sleep(Duration::from_millis(1));
+        let timing = t.price(&[], &CommMatrix::new(1), &[]);
+        assert_eq!(timing.compute.get(), 0.0);
+        assert_eq!(timing.comm, timing.elapsed);
+    }
+
+    #[test]
+    fn wall_timer_emits_per_processor_spans_at_full_level() {
+        let rec = Recorder::new(qsm_obs::ObsLevel::Full, 1e9);
+        let mut t = WallTimer::with_recorder(rec.clone());
+        std::thread::sleep(Duration::from_millis(1));
+        let arrivals = [Instant::now(), Instant::now()];
+        let _ = t.price(&[0, 0], &CommMatrix::new(2), &arrivals);
+        let data = rec.take().unwrap();
+        for kind in [SpanKind::Compute, SpanKind::BarrierWait] {
+            assert_eq!(data.spans.iter().filter(|s| s.kind == kind).count(), 2, "{kind:?}");
         }
-
-        // Wall-clock phases are host-nondeterministic, so the native
-        // machine never feeds the (deterministic) observability layer.
-        let driver = Driver::new(p, self.check_conflicts, qsm_obs::Recorder::disabled());
-        let program = &program;
-        let seed = self.seed;
-        let start = Instant::now();
-
-        let scope_result = crossbeam::thread::scope(move |scope| {
-            let mut timer = WallTimer::new();
-            let mut handles = Vec::with_capacity(p);
-            for (proc, rx) in reply_rxs.into_iter().enumerate() {
-                let tx = worker_tx.clone();
-                handles.push(scope.spawn(move |_| {
-                    let panic_tx = tx.clone();
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut ctx = Ctx::new(proc, p, seed, tx, rx);
-                        let out = program(&mut ctx);
-                        ctx.finish();
-                        out
-                    }));
-                    match result {
-                        Ok(out) => Some(out),
-                        Err(payload) => {
-                            let _ = panic_tx.send(crate::driver::WorkerMsg::Panicked(payload));
-                            None
-                        }
-                    }
-                }));
-            }
-            drop(worker_tx);
-            let driver_result = driver.run(&driver_rx, &reply_txs, &mut timer);
-            drop(reply_txs); // release any workers still blocked in sync()
-            Driver::collect_outputs(handles, driver_result)
-        });
-        let (outputs, phases) = match scope_result {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-
-        let wall_nanos = start.elapsed().as_nanos() as f64;
-        let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
-        ThreadRunResult { outputs, phases, profile, wall_nanos }
     }
 }

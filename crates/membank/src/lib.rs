@@ -12,8 +12,12 @@
 //! * [`machine`] — queue-parameter profiles of the four platforms
 //!   (Sun E5000 natively and under BSPlib, an Ethernet NOW under
 //!   BSPlib, and a Cray T3E with `shmem`).
-//! * [`sim`] — the closed-loop bank-queue simulator that regenerates
-//!   Figure 7's panels.
+//! * [`microbench`] — the generic microbenchmark loop: deterministic
+//!   per-processor target drawing plus the [`BankBackend`] trait the
+//!   two executors implement (the membank counterpart of qsm-core's
+//!   `Machine` unification).
+//! * [`sim`] — the closed-loop bank-queue simulator backend that
+//!   regenerates Figure 7's panels.
 //! * [`native`] — the same microbenchmark on the host machine, with
 //!   padded atomics as banks, for a real-hardware data point.
 
@@ -21,11 +25,13 @@
 #![deny(unsafe_code)]
 
 pub mod machine;
+pub mod microbench;
 pub mod native;
 pub mod pattern;
 pub mod sim;
 
 pub use machine::BankMachine;
-pub use native::{run_native, run_native_all, NativeResult};
+pub use microbench::{run_all, run_pattern, BankBackend, Sample};
+pub use native::{run_native, run_native_all, NativeBank, NativeResult};
 pub use pattern::Pattern;
-pub use sim::{simulate, simulate_all, PatternResult};
+pub use sim::{simulate, simulate_all, PatternResult, SimBank};

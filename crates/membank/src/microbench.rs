@@ -1,0 +1,128 @@
+//! The generic Section 4 microbenchmark loop.
+//!
+//! Both membank executors — the closed-loop queue simulator
+//! ([`crate::sim`]) and the real-hardware atomic runner
+//! ([`crate::native`]) — are the *same experiment*: every processor
+//! draws a bank target per access from its own deterministic RNG,
+//! then performs the accesses as fast as the platform allows. This
+//! module owns the shared half — target drawing, pattern iteration,
+//! and the result shape — behind the [`BankBackend`] trait; a
+//! backend only implements "perform the drawn accesses". This
+//! mirrors the `Machine` unification in `qsm-core`: one loop, two
+//! ways of pricing it.
+//!
+//! Determinism contract: targets are pre-drawn on the calling thread
+//! from per-processor RNGs ([`BankBackend::rng_seed`]), one draw per
+//! access in issue order. For the simulator this reproduces the
+//! original per-round draws exactly (each processor owns its RNG and
+//! draws once per round); for the native runner it keeps RNG cost
+//! out of the measured loop.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::pattern::Pattern;
+
+/// Per-access averages from one (backend, pattern) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Average nanoseconds per access across all processors.
+    pub avg_ns: f64,
+    /// Average nanoseconds an access spent queued at a bank — when
+    /// the backend can observe queueing (the simulator can; real
+    /// hardware cannot).
+    pub avg_queue_ns: Option<f64>,
+}
+
+/// One way of performing the microbenchmark's accesses.
+///
+/// Implemented by [`crate::sim::SimBank`] (closed-loop bank-queue
+/// simulation of a platform profile) and [`crate::native::NativeBank`]
+/// (real atomics on the host). Drive either through [`run_pattern`] /
+/// [`run_all`].
+pub trait BankBackend {
+    /// Processors issuing accesses.
+    fn procs(&self) -> usize;
+    /// Independent banks serving them.
+    fn banks(&self) -> usize;
+    /// Seed of processor `proc`'s target RNG.
+    fn rng_seed(&self, proc: usize) -> u64;
+    /// Perform the accesses: `targets[i][k]` is the bank processor
+    /// `i` visits on its `k`-th access. Every row has equal length.
+    fn execute(&self, targets: &[Vec<usize>]) -> Sample;
+}
+
+/// Run one pattern through `backend`: draw every processor's target
+/// sequence (deterministically, from [`BankBackend::rng_seed`]),
+/// then let the backend perform it.
+pub fn run_pattern<B: BankBackend>(backend: &B, pattern: Pattern, accesses: usize) -> Sample {
+    let banks = backend.banks();
+    let targets: Vec<Vec<usize>> = (0..backend.procs())
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(backend.rng_seed(i));
+            (0..accesses).map(|_| pattern.target_bank(i, banks, &mut rng)).collect()
+        })
+        .collect();
+    backend.execute(&targets)
+}
+
+/// Run all three patterns in the paper's order (one Figure 7 panel).
+pub fn run_all<B: BankBackend>(backend: &B, accesses: usize) -> Vec<(Pattern, Sample)> {
+    Pattern::all().iter().map(|&p| (p, run_pattern(backend, p, accesses))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A backend that records the targets it was handed.
+    struct Probe {
+        procs: usize,
+        banks: usize,
+        seen: RefCell<Vec<Vec<usize>>>,
+    }
+
+    impl BankBackend for Probe {
+        fn procs(&self) -> usize {
+            self.procs
+        }
+        fn banks(&self) -> usize {
+            self.banks
+        }
+        fn rng_seed(&self, proc: usize) -> u64 {
+            proc as u64
+        }
+        fn execute(&self, targets: &[Vec<usize>]) -> Sample {
+            *self.seen.borrow_mut() = targets.to_vec();
+            Sample { avg_ns: 1.0, avg_queue_ns: None }
+        }
+    }
+
+    #[test]
+    fn draws_one_row_per_processor_in_issue_order() {
+        let probe = Probe { procs: 3, banks: 4, seen: RefCell::new(Vec::new()) };
+        run_pattern(&probe, Pattern::Random, 50);
+        let seen = probe.seen.borrow();
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|row| row.len() == 50));
+        assert!(seen.iter().flatten().all(|&b| b < 4));
+        // Distinct seeds -> distinct sequences (overwhelmingly).
+        assert_ne!(seen[0], seen[1]);
+    }
+
+    #[test]
+    fn conflict_targets_are_all_bank_zero() {
+        let probe = Probe { procs: 2, banks: 8, seen: RefCell::new(Vec::new()) };
+        run_pattern(&probe, Pattern::Conflict, 20);
+        assert!(probe.seen.borrow().iter().flatten().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn run_all_covers_patterns_in_paper_order() {
+        let probe = Probe { procs: 1, banks: 2, seen: RefCell::new(Vec::new()) };
+        let samples = run_all(&probe, 10);
+        let order: Vec<Pattern> = samples.iter().map(|(p, _)| *p).collect();
+        assert_eq!(order, Pattern::all().to_vec());
+    }
+}

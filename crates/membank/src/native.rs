@@ -6,13 +6,17 @@
 //! portable analogue of a memory-bank visit), and each worker thread
 //! hammers the banks as fast as it can. This contributes a real
 //! measured data point next to the per-platform simulations.
+//!
+//! [`NativeBank`] is the [`BankBackend`] half: the shared loop in
+//! [`crate::microbench`] pre-draws the per-thread target sequences
+//! (keeping RNG cost out of the measured region, as before), and
+//! this backend times the atomic accesses. [`run_native`] /
+//! [`run_native_all`] keep the original direct entry points.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
+use crate::microbench::{run_pattern, BankBackend, Sample};
 use crate::pattern::Pattern;
 
 /// One cache-line-padded bank.
@@ -28,37 +32,64 @@ pub struct NativeResult {
     pub avg_ns: f64,
 }
 
+/// The host machine as a [`BankBackend`]: `threads` workers hammering
+/// `banks` padded atomics.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeBank {
+    /// Worker threads issuing accesses.
+    pub threads: usize,
+    /// Padded atomic counters standing in for banks.
+    pub banks: usize,
+}
+
+impl BankBackend for NativeBank {
+    fn procs(&self) -> usize {
+        self.threads
+    }
+
+    fn banks(&self) -> usize {
+        self.banks
+    }
+
+    fn rng_seed(&self, proc: usize) -> u64 {
+        0xBEEF ^ proc as u64
+    }
+
+    fn execute(&self, targets: &[Vec<usize>]) -> Sample {
+        let accesses = targets.first().map_or(0, Vec::len);
+        assert!(self.threads >= 1 && self.banks >= 1 && accesses >= 1);
+        let bank_cells: Vec<Bank> = (0..self.banks).map(|_| Bank(AtomicU64::new(0))).collect();
+        let bank_cells = &bank_cells;
+
+        let total_ns: f64 = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|t| {
+                    let my_targets = &targets[t];
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let mut sink = 0u64;
+                        for &b in my_targets {
+                            sink =
+                                sink.wrapping_add(bank_cells[b].0.fetch_add(1, Ordering::Relaxed));
+                        }
+                        std::hint::black_box(sink);
+                        start.elapsed().as_nanos() as f64
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bench thread panicked")).sum()
+        })
+        .expect("native membank scope panicked");
+
+        Sample { avg_ns: total_ns / (self.threads * accesses) as f64, avg_queue_ns: None }
+    }
+}
+
 /// Run `accesses` atomic accesses per thread under `pattern` with
 /// `threads` workers over `banks` padded atomics.
 pub fn run_native(threads: usize, banks: usize, pattern: Pattern, accesses: usize) -> NativeResult {
-    assert!(threads >= 1 && banks >= 1 && accesses >= 1);
-    let bank_cells: Vec<Bank> = (0..banks).map(|_| Bank(AtomicU64::new(0))).collect();
-    let bank_cells = &bank_cells;
-
-    let total_ns: f64 = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                scope.spawn(move |_| {
-                    let mut rng = SmallRng::seed_from_u64(0xBEEF ^ t as u64);
-                    // Pre-draw targets so RNG cost stays out of the
-                    // measured loop.
-                    let targets: Vec<usize> =
-                        (0..accesses).map(|_| pattern.target_bank(t, banks, &mut rng)).collect();
-                    let start = Instant::now();
-                    let mut sink = 0u64;
-                    for &b in &targets {
-                        sink = sink.wrapping_add(bank_cells[b].0.fetch_add(1, Ordering::Relaxed));
-                    }
-                    std::hint::black_box(sink);
-                    start.elapsed().as_nanos() as f64
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("bench thread panicked")).sum()
-    })
-    .expect("native membank scope panicked");
-
-    NativeResult { pattern, avg_ns: total_ns / (threads * accesses) as f64 }
+    let s = run_pattern(&NativeBank { threads, banks }, pattern, accesses);
+    NativeResult { pattern, avg_ns: s.avg_ns }
 }
 
 /// Run all three patterns.

@@ -6,11 +6,15 @@
 //! target bank, queue for its FIFO service, transit back, repeat.
 //! The reported metric is the average wall time per access at steady
 //! state, exactly what Figure 7 plots.
-
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+//!
+//! [`SimBank`] is the [`BankBackend`] half of this: the shared
+//! microbenchmark loop in [`crate::microbench`] draws the per-access
+//! bank targets, and this backend prices them through the queue
+//! model. [`simulate`] / [`simulate_all`] keep the original direct
+//! entry points.
 
 use crate::machine::BankMachine;
+use crate::microbench::{run_pattern, BankBackend, Sample};
 use crate::pattern::Pattern;
 
 /// Outcome of simulating one (machine, pattern) cell.
@@ -24,6 +28,80 @@ pub struct PatternResult {
     pub avg_queue_ns: f64,
 }
 
+/// The queue simulator as a [`BankBackend`]: a platform profile plus
+/// the seed its per-processor target RNGs derive from.
+#[derive(Debug, Clone, Copy)]
+pub struct SimBank<'a> {
+    /// The platform profile being simulated.
+    pub machine: &'a BankMachine,
+    /// Seed shared by the per-processor target RNGs.
+    pub seed: u64,
+}
+
+impl BankBackend for SimBank<'_> {
+    fn procs(&self) -> usize {
+        self.machine.procs
+    }
+
+    fn banks(&self) -> usize {
+        self.machine.banks
+    }
+
+    fn rng_seed(&self, proc: usize) -> u64 {
+        self.seed ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn execute(&self, targets: &[Vec<usize>]) -> Sample {
+        let m = self.machine;
+        let p = m.procs;
+        let accesses = targets.first().map_or(0, Vec::len);
+        assert!(accesses >= 10, "too few accesses for a meaningful average");
+        let warmup = accesses / 10;
+
+        let mut bank_free = vec![0.0f64; m.banks];
+        let mut proc_time = vec![0.0f64; p];
+        let mut measured_time = 0.0f64;
+        let mut measured_queue = 0.0f64;
+        let mut measured_count = 0u64;
+
+        // Round-robin issue order approximates concurrent progress
+        // while staying deterministic; within a round, processors are
+        // serviced in arrival-time order. `k` walks every processor's
+        // target row in lockstep, so an iterator over one row won't do.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..accesses {
+            // Collect this round's arrivals, then serve in time order.
+            let mut arrivals: Vec<(f64, usize, usize)> = (0..p)
+                .map(|i| {
+                    let start = proc_time[i];
+                    let bank = targets[i][k];
+                    let arrive = start + m.overhead_ns + m.transit_ns;
+                    (arrive, i, bank)
+                })
+                .collect();
+            arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (arrive, i, bank) in arrivals {
+                let service_start = arrive.max(bank_free[bank]);
+                let queue = service_start - arrive;
+                let done = service_start + m.bank_service_ns;
+                bank_free[bank] = done;
+                let complete = done + m.transit_ns;
+                if k >= warmup {
+                    measured_time += complete - proc_time[i];
+                    measured_queue += queue;
+                    measured_count += 1;
+                }
+                proc_time[i] = complete;
+            }
+        }
+
+        Sample {
+            avg_ns: measured_time / measured_count as f64,
+            avg_queue_ns: Some(measured_queue / measured_count as f64),
+        }
+    }
+}
+
 /// Simulate `accesses` accesses per processor under `pattern`.
 ///
 /// The simulation is deterministic for a given seed. A short warmup
@@ -35,52 +113,11 @@ pub fn simulate(
     accesses: usize,
     seed: u64,
 ) -> PatternResult {
-    assert!(accesses >= 10, "too few accesses for a meaningful average");
-    let p = machine.procs;
-    let warmup = accesses / 10;
-
-    let mut rngs: Vec<SmallRng> = (0..p)
-        .map(|i| SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-        .collect();
-    let mut bank_free = vec![0.0f64; machine.banks];
-    let mut proc_time = vec![0.0f64; p];
-    let mut measured_time = 0.0f64;
-    let mut measured_queue = 0.0f64;
-    let mut measured_count = 0u64;
-
-    // Round-robin issue order approximates concurrent progress while
-    // staying deterministic; within a round, processors are serviced
-    // in arrival-time order.
-    for k in 0..accesses {
-        // Collect this round's arrivals, then serve in time order.
-        let mut arrivals: Vec<(f64, usize, usize)> = (0..p)
-            .map(|i| {
-                let start = proc_time[i];
-                let bank = pattern.target_bank(i, machine.banks, &mut rngs[i]);
-                let arrive = start + machine.overhead_ns + machine.transit_ns;
-                (arrive, i, bank)
-            })
-            .collect();
-        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        for (arrive, i, bank) in arrivals {
-            let service_start = arrive.max(bank_free[bank]);
-            let queue = service_start - arrive;
-            let done = service_start + machine.bank_service_ns;
-            bank_free[bank] = done;
-            let complete = done + machine.transit_ns;
-            if k >= warmup {
-                measured_time += complete - proc_time[i];
-                measured_queue += queue;
-                measured_count += 1;
-            }
-            proc_time[i] = complete;
-        }
-    }
-
+    let s = run_pattern(&SimBank { machine, seed }, pattern, accesses);
     PatternResult {
         pattern,
-        avg_ns: measured_time / measured_count as f64,
-        avg_queue_ns: measured_queue / measured_count as f64,
+        avg_ns: s.avg_ns,
+        avg_queue_ns: s.avg_queue_ns.expect("simulator always observes queueing"),
     }
 }
 
