@@ -1,5 +1,6 @@
 //! Regenerates every table and figure of the paper in sequence.
-//! `QSM_FAST=1` for a quick smoke pass.
+//! `QSM_FAST=1` for a quick smoke pass. Exits nonzero (after running
+//! everything it can) if any graceful sweep dropped points.
 fn main() {
     let obs = qsm_bench::obs::ObsSink::from_env();
     let cfg = qsm_bench::RunCfg::from_env();
@@ -17,5 +18,7 @@ fn main() {
     qsm_bench::figures::ext_fabric::run(&cfg).emit();
     qsm_bench::figures::ext_straggler::run(&cfg).emit();
     qsm_bench::figures::ext_hotspot::run(&cfg).emit();
+    qsm_bench::figures::ext_faults::run(&cfg).emit();
     obs.finalize();
+    qsm_bench::sweep::exit_if_degraded();
 }

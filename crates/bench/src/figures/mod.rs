@@ -15,9 +15,11 @@
 //! | [`ext_fabric`] | (ours) | shared-fabric network-contention extension |
 //! | [`ext_straggler`] | (ours) | heterogeneous-processors extension |
 //! | [`ext_hotspot`] | (ours) | hot-spot contention: QSM κ vs s-QSM g·κ |
+//! | [`ext_faults`] | (ours) | message loss + retry protocol vs reliable-network assumption |
 
 pub mod ablations;
 pub mod ext_fabric;
+pub mod ext_faults;
 pub mod ext_hotspot;
 pub mod ext_straggler;
 pub mod fig1;

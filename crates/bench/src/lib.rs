@@ -40,6 +40,43 @@ pub mod stats;
 pub mod sweep;
 
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Knob names that already produced an unparseable-value warning, so
+/// repeated reads of the same broken knob warn exactly once.
+static WARNED_KNOBS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Parse the raw value of a `usize` environment knob. `None` when the
+/// knob is absent or set to an empty/whitespace value (treated as
+/// unset). A value that does not parse as a non-negative integer is
+/// **not** silently swallowed: it warns on stderr — once per knob
+/// name per process — and returns `None`, so the caller's default
+/// applies but the typo is visible.
+pub fn parse_usize_knob(name: &'static str, raw: Option<&str>) -> Option<usize> {
+    let trimmed = raw?.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            let mut warned = WARNED_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+            if !warned.contains(&name) {
+                warned.push(name);
+                eprintln!(
+                    "warning: ignoring unparseable {name}={trimmed:?} \
+                     (expected a non-negative integer); using the default"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Read and parse a `usize` environment knob via [`parse_usize_knob`].
+pub fn env_usize(name: &'static str) -> Option<usize> {
+    parse_usize_knob(name, std::env::var(name).ok().as_deref())
+}
 
 /// Common sweep configuration.
 #[derive(Debug, Clone)]
@@ -56,11 +93,7 @@ impl RunCfg {
     /// Read configuration from the environment.
     pub fn from_env() -> Self {
         let fast = std::env::var("QSM_FAST").map(|v| v != "0").unwrap_or(false);
-        let reps = std::env::var("QSM_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(if fast {
-            1
-        } else {
-            3
-        });
+        let reps = env_usize("QSM_REPS").unwrap_or(if fast { 1 } else { 3 });
         Self { p: 16, reps, fast }
     }
 
@@ -146,5 +179,26 @@ mod tests {
         let cfg = RunCfg::fast();
         assert_ne!(cfg.seed(0, 0), cfg.seed(0, 1));
         assert_ne!(cfg.seed(0, 0), cfg.seed(1, 0));
+    }
+
+    #[test]
+    fn usize_knobs_parse_strictly_but_warn_not_panic() {
+        // Use fake knob names: the warned-once registry is process
+        // global and must not collide with real knobs in other tests.
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_A", None), None);
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_A", Some("")), None);
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_A", Some("   ")), None);
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_A", Some("8")), Some(8));
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_A", Some(" 12 ")), Some(12));
+        // Garbage values fall back to None (caller default) instead of
+        // being silently swallowed mid-parse; negative numbers do not
+        // fit a usize and get the same treatment.
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_B", Some("abc")), None);
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_B", Some("-3")), None);
+        // The warning registry records each knob at most once however
+        // often the broken value is re-read.
+        assert_eq!(parse_usize_knob("QSM_TEST_KNOB_B", Some("abc")), None);
+        let warned = WARNED_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(warned.iter().filter(|&&n| n == "QSM_TEST_KNOB_B").count(), 1);
     }
 }

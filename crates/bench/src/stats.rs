@@ -16,24 +16,43 @@ pub fn stddev(xs: &[f64]) -> f64 {
 }
 
 /// Relative standard deviation in percent (the paper reports its
-/// sample-sort runs stayed under 11%).
+/// sample-sort runs stayed under 11%). Normalized by the mean's
+/// magnitude, so a spread is never reported as a *negative* percent
+/// when the sample mean happens to be negative (e.g. a drift series).
 pub fn rel_stddev_pct(xs: &[f64]) -> f64 {
     let m = mean(xs);
     if m == 0.0 {
         0.0
     } else {
-        100.0 * stddev(xs) / m
+        100.0 * stddev(xs) / m.abs()
     }
 }
 
 /// Linear interpolation of the x where a decreasing `f(x) - g(x)`
-/// difference crosses zero between two sampled points.
+/// difference crosses zero between two sampled points: requires
+/// `d0 >= 0 >= d1` (a bracketing sign change) and returns an x inside
+/// `[x0, x1]`.
+///
+/// The bracketing precondition is checked with a real `assert!` — in
+/// release builds a `debug_assert!` here would vanish and a caller
+/// passing a non-bracketing pair would get a silent *extrapolation*
+/// far outside the sampled interval; the result is additionally
+/// clamped to `[x0, x1]` so floating-point cancellation near the
+/// boundary cannot step outside it either.
 pub fn cross_interpolate(x0: f64, d0: f64, x1: f64, d1: f64) -> f64 {
-    debug_assert!(d0 >= 0.0 && d1 <= 0.0, "need a sign change: {d0} {d1}");
+    assert!(
+        d0 >= 0.0 && d1 <= 0.0,
+        "cross_interpolate needs a bracketing sign change (d0 >= 0 >= d1), got d0={d0} d1={d1}"
+    );
     if (d0 - d1).abs() < 1e-12 {
         return x0;
     }
-    x0 + (x1 - x0) * d0 / (d0 - d1)
+    let x = x0 + (x1 - x0) * d0 / (d0 - d1);
+    if x0 <= x1 {
+        x.clamp(x0, x1)
+    } else {
+        x.clamp(x1, x0)
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +81,31 @@ mod tests {
     #[test]
     fn interpolation_at_boundary() {
         assert_eq!(cross_interpolate(4.0, 0.0, 8.0, -10.0), 4.0);
+    }
+
+    #[test]
+    fn negative_mean_sample_still_has_positive_spread() {
+        // A drift series that is mostly negative: the relative spread
+        // is a magnitude, not a signed quantity.
+        let xs = [-10.0, -12.0, -8.0, -11.0];
+        let r = rel_stddev_pct(&xs);
+        assert!(r > 0.0, "rel stddev must be positive, got {r}");
+        // Same spread as the mirrored positive sample.
+        let pos: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert_eq!(r, rel_stddev_pct(&pos));
+    }
+
+    #[test]
+    fn interpolation_rejects_non_bracketing_input_in_release_too() {
+        // This test is meaningful precisely in release builds (where a
+        // debug_assert would compile out and silently extrapolate).
+        let caught = std::panic::catch_unwind(|| cross_interpolate(0.0, 10.0, 2.0, 5.0));
+        assert!(caught.is_err(), "non-bracketing pair must panic, not extrapolate");
+    }
+
+    #[test]
+    fn interpolation_stays_inside_the_interval() {
+        let x = cross_interpolate(1.0, 1e-9, 3.0, -1e9);
+        assert!((1.0..=3.0).contains(&x), "{x} outside [1, 3]");
     }
 }

@@ -68,6 +68,10 @@ pub struct CostReport {
     pub data_msgs: u64,
     /// Total payload bytes moved.
     pub payload_bytes: u64,
+    /// Total resends by the delivery protocol (fault injection only).
+    pub retries: u64,
+    /// Total transmissions lost to fault injection (all re-delivered).
+    pub dropped_msgs: u64,
     /// Model parameters used for the prediction columns.
     pub models: ModelInputs,
     /// Predicted communication time under QSM.
@@ -111,6 +115,8 @@ impl CostReport {
             measured_comm,
             data_msgs: phases.iter().map(|r| r.data_msgs).sum(),
             payload_bytes: phases.iter().map(|r| r.payload_bytes).sum(),
+            retries: phases.iter().map(|r| r.retries).sum(),
+            dropped_msgs: phases.iter().map(|r| r.dropped_msgs).sum(),
             models,
             qsm_comm: profile.qsm_comm_cost(&models.qsm),
             sqsm_comm: profile.sqsm_comm_cost(&models.sqsm),
@@ -157,6 +163,13 @@ impl fmt::Display for CostReport {
             "  traffic:  {} data messages, {} payload bytes",
             self.data_msgs, self.payload_bytes
         )?;
+        if self.dropped_msgs > 0 || self.retries > 0 {
+            writeln!(
+                f,
+                "  faults:   {} transmissions lost, {} resends",
+                self.dropped_msgs, self.retries
+            )?;
+        }
         writeln!(f, "  predicted communication (hardware parameters):")?;
         for (name, v) in [
             ("QSM", self.qsm_comm),
@@ -190,6 +203,8 @@ mod tests {
             },
             data_msgs: 2,
             payload_bytes: m_rw * 4,
+            retries: 0,
+            dropped_msgs: 0,
         }
     }
 

@@ -197,6 +197,12 @@ pub struct PhaseRecord {
     pub data_msgs: u64,
     /// Total payload bytes moved (excluding headers).
     pub payload_bytes: u64,
+    /// Resends the delivery protocol performed under fault injection
+    /// (0 on fault-free runs and wall-clock backends).
+    pub retries: u64,
+    /// Transmissions lost to fault injection (each later
+    /// re-delivered; 0 on fault-free runs and wall-clock backends).
+    pub dropped_msgs: u64,
 }
 
 /// Per-array access ranges used for κ and conflict detection.
@@ -420,7 +426,8 @@ impl Driver {
         let plan = self.plan_stage(&payloads);
         let mut replies = self.exchange_stage(&mut payloads, &plan);
         let timing = self.price_stage(&payloads, timer);
-        let record = self.record_stage(&plan, timing);
+        let faults = timer.fault_counts();
+        let record = self.record_stage(&plan, timing, faults);
         self.handback_stage(&mut replies, &plan);
         (replies, record)
     }
@@ -675,7 +682,12 @@ impl Driver {
     /// **Stage 4 — record.** Emit observability counters/spans and
     /// assemble the [`PhaseRecord`] the cost models consume. Runs
     /// identically on every backend; only the time unit differs.
-    fn record_stage(&mut self, plan: &PhasePlan, timing: PhaseTiming) -> PhaseRecord {
+    fn record_stage(
+        &mut self,
+        plan: &PhasePlan,
+        timing: PhaseTiming,
+        (retries, dropped_msgs): (u64, u64),
+    ) -> PhaseRecord {
         let this = &mut *self;
         let p = this.p;
 
@@ -722,6 +734,8 @@ impl Driver {
             timing,
             data_msgs: plan.data_msgs,
             payload_bytes: plan.payload_bytes,
+            retries,
+            dropped_msgs,
         }
     }
 

@@ -46,6 +46,13 @@ pub trait PhaseTimer: Send {
     /// ignore it). `arrivals` may be empty in unit-test harnesses
     /// that drive a timer directly.
     fn price(&mut self, charged: &[u64], matrix: &CommMatrix, arrivals: &[Instant]) -> PhaseTiming;
+
+    /// `(resends, lost transmissions)` of the phase most recently
+    /// priced — the delivery protocol's work under fault injection.
+    /// Backends without fault injection report zeros.
+    fn fault_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// A QSM execution backend.
@@ -211,6 +218,13 @@ impl PhaseTimer for AnyTimer {
         match &mut self.0 {
             AnyTimerInner::Sim(t) => t.price(charged, matrix, arrivals),
             AnyTimerInner::Wall(t) => t.price(charged, matrix, arrivals),
+        }
+    }
+
+    fn fault_counts(&self) -> (u64, u64) {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.fault_counts(),
+            AnyTimerInner::Wall(t) => t.fault_counts(),
         }
     }
 }

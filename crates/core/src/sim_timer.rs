@@ -14,8 +14,8 @@ use qsm_obs::{Recorder, Span, SpanKind};
 use qsm_simnet::barrier::{BarrierModel, FixedBarrier};
 use qsm_simnet::config::{BarrierKind, ExchangeOrder};
 use qsm_simnet::{
-    Cycles, Delivery, DisseminationBarrier, Injection, Keep, MachineConfig, MsgKind, NetStats,
-    Network,
+    Cycles, Delivery, DisseminationBarrier, FaultConfig, Injection, Keep, MachineConfig, MsgKind,
+    NetStats, Network,
 };
 
 use crate::driver::{CommMatrix, PhaseTiming};
@@ -68,6 +68,17 @@ pub struct SimTimer {
     /// `(round, first msg index, one-past-last)` per non-empty data
     /// round, for [`SpanKind::ExchangeRound`] spans (full level only).
     round_bounds: Vec<(usize, usize, usize)>,
+    // --- delivery-protocol scratch and per-phase fault counters ---
+    /// Undelivered messages of the current retry loop: `(original
+    /// injection index, attempts made so far)`.
+    pending: Vec<(usize, u32)>,
+    retry_msgs: Vec<Injection>,
+    retry_deliveries: Vec<Delivery>,
+    /// Resends performed in the phase most recently priced.
+    phase_retries: u64,
+    /// Transmissions lost in the phase most recently priced (each
+    /// later re-delivered by the retry protocol).
+    phase_drops: u64,
 }
 
 impl SimTimer {
@@ -103,6 +114,11 @@ impl SimTimer {
             reply_inbox: vec![Vec::new(); cfg.p],
             barrier_enter: Vec::with_capacity(cfg.p),
             round_bounds: Vec::new(),
+            pending: Vec::new(),
+            retry_msgs: Vec::new(),
+            retry_deliveries: Vec::new(),
+            phase_retries: 0,
+            phase_drops: 0,
         }
     }
 
@@ -201,7 +217,19 @@ impl SimTimer {
                     round_bounds.push((r, round_lo, data_msgs.len()));
                 }
             }
-            self.net.transmit_into(&self.data_msgs, &mut self.deliveries);
+            let (r, d) = transmit_reliably(
+                &mut self.net,
+                self.cfg.net.faults,
+                &self.data_msgs,
+                &mut self.deliveries,
+                &mut self.pending,
+                &mut self.retry_msgs,
+                &mut self.retry_deliveries,
+                &self.rec,
+                self.phase_idx,
+            );
+            self.phase_retries += r;
+            self.phase_drops += d;
 
             // --- Receiver-side processing in deterministic arrival order.
             for q in self.inbox.iter_mut() {
@@ -262,7 +290,19 @@ impl SimTimer {
 
             // --- Replies back to the requesters.
             if !self.replies.is_empty() {
-                self.net.transmit_into(&self.replies, &mut self.reply_deliveries);
+                let (r, d) = transmit_reliably(
+                    &mut self.net,
+                    self.cfg.net.faults,
+                    &self.replies,
+                    &mut self.reply_deliveries,
+                    &mut self.pending,
+                    &mut self.retry_msgs,
+                    &mut self.retry_deliveries,
+                    &self.rec,
+                    self.phase_idx,
+                );
+                self.phase_retries += r;
+                self.phase_drops += d;
                 for q in self.reply_inbox.iter_mut() {
                     q.clear();
                 }
@@ -330,6 +370,15 @@ impl SimTimer {
             self.rec.add(bytes_name, bytes - self.prev_stats.bytes_of(kind));
         }
         self.prev_stats = stats;
+        // Fault counters only when faults actually fired, so the
+        // metrics dump of a fault-free run is byte-identical to one
+        // recorded before the delivery protocol existed.
+        if self.phase_drops > 0 {
+            self.rec.add("dropped_msgs", self.phase_drops);
+        }
+        if self.phase_retries > 0 {
+            self.rec.add("retries", self.phase_retries);
+        }
         if exchanged {
             self.rec.observe_iter(
                 "msg_size_bytes",
@@ -426,6 +475,113 @@ impl SimTimer {
     }
 }
 
+/// Transmit a data-plane batch through the delivery protocol: send it
+/// via the fault-injecting path, then resend lost messages with
+/// bounded exponential backoff — resend `k` of a message becomes ready
+/// `retry_timeout · 2^(k-1)` cycles after its previous failed
+/// departure — until every message is delivered or a message exhausts
+/// `max_attempts` (a panic; the sweep executor degrades gracefully).
+/// Each message's final successful [`Delivery`] is written back into
+/// `deliveries`, so receiver-side processing observes the protocol's
+/// true visibility times. Without a fault configuration this is
+/// exactly the reliable path.
+///
+/// Returns `(resends performed, transmissions lost)`. Takes the
+/// timer's fields piecewise so the pooled buffers borrow alongside
+/// the injected message list.
+#[allow(clippy::too_many_arguments)]
+fn transmit_reliably(
+    net: &mut Network,
+    faults: Option<FaultConfig>,
+    msgs: &[Injection],
+    deliveries: &mut Vec<Delivery>,
+    pending: &mut Vec<(usize, u32)>,
+    retry_msgs: &mut Vec<Injection>,
+    retry_deliveries: &mut Vec<Delivery>,
+    rec: &Recorder,
+    phase: u64,
+) -> (u64, u64) {
+    let Some(f) = faults else {
+        net.transmit_into(msgs, deliveries);
+        return (0, 0);
+    };
+    // Resends are keyed on (primary sequence, attempt) rather than
+    // drawing fresh numbers from the stream: retry traffic volume
+    // varies with drop_prob, and letting it advance the stream would
+    // desynchronize later phases' drop decisions between two runs
+    // that differ only in probability.
+    let base = net.next_fault_seq();
+    net.transmit_into_faulty(msgs, deliveries);
+    pending.clear();
+    pending.extend(net.last_dropped().iter().enumerate().filter(|&(_, &d)| d).map(|(i, _)| (i, 1)));
+    let mut retries = 0u64;
+    let mut drops = pending.len() as u64;
+    let mut wave = 0u32;
+    let mut retry_keys = Vec::new();
+    while !pending.is_empty() {
+        retry_msgs.clear();
+        retry_keys.clear();
+        for &(i, attempts) in pending.iter() {
+            assert!(
+                attempts < f.max_attempts,
+                "delivery protocol gave up: message {} -> {} ({} bytes, {:?}) still lost \
+                 after {} attempts at drop_prob {} (seed {}); raise max_attempts or \
+                 retry_timeout",
+                msgs[i].src,
+                msgs[i].dst,
+                msgs[i].bytes,
+                msgs[i].kind,
+                attempts,
+                f.drop_prob,
+                f.seed,
+            );
+            let backoff = f.retry_timeout * 2f64.powi((attempts - 1).min(60) as i32);
+            let ready = deliveries[i].depart + Cycles::new(backoff);
+            retry_msgs.push(Injection::new(
+                msgs[i].src,
+                msgs[i].dst,
+                msgs[i].bytes,
+                ready,
+                msgs[i].kind,
+            ));
+            retry_keys.push(FaultConfig::retry_key(base + i as u64, attempts));
+        }
+        net.transmit_into_faulty_keyed(retry_msgs, retry_deliveries, &retry_keys);
+        retries += retry_msgs.len() as u64;
+        if rec.is_full() {
+            let start = retry_msgs.iter().map(|m| m.ready).fold(retry_msgs[0].ready, Cycles::min);
+            let end = retry_deliveries
+                .iter()
+                .zip(net.last_dropped())
+                .map(|(d, &lost)| if lost { d.arrive } else { d.visible })
+                .fold(Cycles::ZERO, Cycles::max);
+            rec.spans(std::iter::once(Span {
+                kind: SpanKind::RetryRound,
+                phase,
+                lane: wave,
+                start,
+                dur: end - start,
+            }));
+        }
+        // Fold results back; still-lost messages stay pending with one
+        // more attempt on the clock.
+        let lost = net.last_dropped();
+        let mut kept = 0;
+        for j in 0..pending.len() {
+            let (i, attempts) = pending[j];
+            deliveries[i] = retry_deliveries[j];
+            if lost[j] {
+                drops += 1;
+                pending[kept] = (i, attempts + 1);
+                kept += 1;
+            }
+        }
+        pending.truncate(kept);
+        wave += 1;
+    }
+    (retries, drops)
+}
+
 impl PhaseTimer for SimTimer {
     /// Simulated pricing ignores host arrival instants: simulated
     /// time advances only from charged operations and the network.
@@ -435,6 +591,8 @@ impl PhaseTimer for SimTimer {
         matrix: &CommMatrix,
         _arrivals: &[std::time::Instant],
     ) -> PhaseTiming {
+        self.phase_retries = 0;
+        self.phase_drops = 0;
         let local_finish: Vec<Cycles> = charged
             .iter()
             .zip(&self.phase_start)
@@ -457,6 +615,10 @@ impl PhaseTimer for SimTimer {
         self.prev_release_max = release_max;
         self.phase_start = release;
         PhaseTiming { elapsed, compute, comm }
+    }
+
+    fn fault_counts(&self) -> (u64, u64) {
+        (self.phase_retries, self.phase_drops)
     }
 }
 
@@ -680,6 +842,125 @@ mod tests {
             let b = observed.price(&[k * 500; 8], &m, &[]);
             assert_eq!(a, b, "phase {k}");
         }
+    }
+
+    #[test]
+    fn fault_free_config_is_byte_identical_with_protocol_installed() {
+        // `faults: None` must take the exact pre-protocol code path.
+        let cfg = MachineConfig::paper_default(8);
+        let mut m = CommMatrix::new(8);
+        for i in 0..8usize {
+            let c = m.at_mut(i, (i + 1) % 8);
+            c.put_items = 100;
+            c.put_words = 100;
+            c.put_payload_bytes = 400;
+        }
+        let mut a = SimTimer::new(cfg);
+        let mut b = SimTimer::new(cfg);
+        for k in 1..4u64 {
+            assert_eq!(a.price(&[k * 100; 8], &m, &[]), b.price(&[k * 100; 8], &m, &[]));
+        }
+        assert_eq!(a.fault_counts(), (0, 0));
+    }
+
+    #[test]
+    fn retry_protocol_delivers_under_heavy_loss() {
+        use qsm_simnet::FaultConfig;
+        // Half of all data transmissions are lost; every message must
+        // still be delivered, at a measurable cost in time and
+        // resends.
+        let base = MachineConfig::paper_default(4);
+        let faulted = base.with_faults(FaultConfig::drops(0xFA17, 0.5));
+        let mut m = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = m.at_mut(i, (i + 1) % 4);
+            c.put_items = 50;
+            c.put_words = 50;
+            c.put_payload_bytes = 200;
+            let c = m.at_mut(i, (i + 2) % 4);
+            c.get_items = 20;
+            c.get_words = 20;
+            c.get_reply_payload_bytes = 80;
+        }
+        let mut clean = SimTimer::new(base);
+        let mut faulty = SimTimer::new(faulted);
+        let t_clean = clean.price(&[0; 4], &m, &[]);
+        let t_faulty = faulty.price(&[0; 4], &m, &[]);
+        let (retries, drops) = faulty.fault_counts();
+        assert!(drops > 0, "no transmissions lost at drop_prob 0.5");
+        assert_eq!(retries, drops, "every loss must be matched by exactly one resend");
+        assert!(
+            t_faulty.comm > t_clean.comm,
+            "faulted comm {} should exceed clean {}",
+            t_faulty.comm,
+            t_clean.comm
+        );
+        assert_eq!(clean.fault_counts(), (0, 0));
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        use qsm_simnet::FaultConfig;
+        let cfg = MachineConfig::paper_default(4).with_faults(FaultConfig::drops(7, 0.3));
+        let run = || {
+            let mut t = SimTimer::new(cfg);
+            let mut m = CommMatrix::new(4);
+            for i in 0..4usize {
+                let c = m.at_mut(i, (i + 1) % 4);
+                c.put_items = 30;
+                c.put_words = 30;
+                c.put_payload_bytes = 120;
+            }
+            let mut out = Vec::new();
+            for k in 1..5u64 {
+                out.push((t.price(&[k * 100; 4], &m, &[]), t.fault_counts()));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery protocol gave up")]
+    fn exhausted_attempts_panic_with_context() {
+        use qsm_simnet::FaultConfig;
+        // max_attempts 1 means a single loss exhausts the budget.
+        let fc = FaultConfig { max_attempts: 1, ..FaultConfig::drops(3, 0.9) };
+        let cfg = MachineConfig::paper_default(4).with_faults(fc);
+        let mut t = SimTimer::new(cfg);
+        let mut m = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = m.at_mut(i, (i + 1) % 4);
+            c.put_items = 10;
+            c.put_words = 10;
+            c.put_payload_bytes = 40;
+        }
+        for _ in 0..20 {
+            t.price(&[0; 4], &m, &[]);
+        }
+    }
+
+    #[test]
+    fn retry_waves_emit_spans_and_counters() {
+        use qsm_obs::{ObsLevel, SpanKind};
+        use qsm_simnet::FaultConfig;
+        let cfg = MachineConfig::paper_default(4).with_faults(FaultConfig::drops(21, 0.4));
+        let rec = Recorder::new(ObsLevel::Full, cfg.cpu.clock_hz);
+        let mut t = SimTimer::with_recorder(cfg, rec.clone());
+        let mut m = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = m.at_mut(i, (i + 1) % 4);
+            c.put_items = 40;
+            c.put_words = 40;
+            c.put_payload_bytes = 160;
+        }
+        t.price(&[0; 4], &m, &[]);
+        let (retries, drops) = t.fault_counts();
+        assert!(drops > 0);
+        let data = rec.take().unwrap();
+        assert!(data.spans.iter().any(|s| s.kind == SpanKind::RetryRound));
+        assert_eq!(data.metrics.counter("retries"), retries);
+        assert_eq!(data.metrics.counter("dropped_msgs"), drops);
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl ObsData {
         push_meta(&mut out, "process_name", PID_WIRE, 0, "wire");
         push_meta(&mut out, "thread_name", PID_MACHINE, 0, "phases");
         push_meta(&mut out, "thread_name", PID_MACHINE, 1, "exchange rounds");
+        push_meta(&mut out, "thread_name", PID_MACHINE, 2, "retry rounds");
         for p in 0..self.nprocs {
             push_meta(&mut out, "thread_name", PID_PROCS, p as u32, &format!("proc {p}"));
             push_meta(&mut out, "thread_name", PID_WIRE, p as u32, &format!("from proc {p}"));
@@ -72,6 +73,9 @@ impl ObsData {
                 }
                 SpanKind::ExchangeRound => {
                     (PID_MACHINE, 1, format!("phase {} round {}", s.phase, s.lane))
+                }
+                SpanKind::RetryRound => {
+                    (PID_MACHINE, 2, format!("phase {} retry wave {}", s.phase, s.lane))
                 }
                 SpanKind::Compute | SpanKind::CommBusy | SpanKind::BarrierWait => {
                     (PID_PROCS, s.lane, format!("{} p{}", s.kind.label(), s.phase))

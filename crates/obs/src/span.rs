@@ -26,6 +26,10 @@ pub enum SpanKind {
     /// the data exchange, from first injection ready to last delivery
     /// visible.
     ExchangeRound,
+    /// Exchange track: retry wave `lane` of the phase's delivery
+    /// protocol — resends of data messages lost to fault injection,
+    /// from the earliest resend ready to the last delivery visible.
+    RetryRound,
 }
 
 impl SpanKind {
@@ -38,6 +42,7 @@ impl SpanKind {
             SpanKind::CommBusy => "comm",
             SpanKind::BarrierWait => "barrier",
             SpanKind::ExchangeRound => "round",
+            SpanKind::RetryRound => "retry",
         }
     }
 }

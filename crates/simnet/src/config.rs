@@ -17,6 +17,7 @@
 //!   as in Table 3; the constants below are calibrated so the
 //!   simulated Table 3 reproduces the paper's observed rows.
 
+use crate::fault::FaultConfig;
 use crate::time::Cycles;
 
 /// Order in which the library visits destinations during the bulk
@@ -61,6 +62,13 @@ pub struct NetConfig {
     /// aggregate bandwidth saturates; see the `ext_fabric`
     /// experiment).
     pub fabric_gap_per_byte: Option<f64>,
+    /// Optional deterministic fault injection (extension; `None` — a
+    /// fault-free network — reproduces the paper's simulator
+    /// bit-exactly). See [`crate::fault`] for the model; faults apply
+    /// only to transmissions submitted through
+    /// [`crate::Network::transmit_into_faulty`] (the bulk data
+    /// exchange), never to plan or barrier traffic.
+    pub faults: Option<FaultConfig>,
 }
 
 impl NetConfig {
@@ -74,6 +82,7 @@ impl NetConfig {
             recv_overhead: 400.0,
             latency: 1600.0,
             fabric_gap_per_byte: None,
+            faults: None,
         }
     }
 
@@ -85,6 +94,9 @@ impl NetConfig {
         assert!(self.latency >= 0.0 && self.latency.is_finite());
         if let Some(f) = self.fabric_gap_per_byte {
             assert!(f >= 0.0 && f.is_finite());
+        }
+        if let Some(f) = &self.faults {
+            f.validate();
         }
     }
 
@@ -319,6 +331,14 @@ impl MachineConfig {
     /// Builder: replace the barrier implementation.
     pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
         self.sw.barrier = kind;
+        self
+    }
+
+    /// Builder: enable deterministic fault injection on the data
+    /// exchange (extension; the paper's simulator is fault-free).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.net.faults = Some(faults);
+        self.net.validate();
         self
     }
 

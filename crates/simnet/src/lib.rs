@@ -42,6 +42,7 @@
 pub mod barrier;
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod message;
 pub mod network;
 pub mod stats;
@@ -50,6 +51,7 @@ pub mod trace;
 
 pub use barrier::{BarrierModel, DisseminationBarrier};
 pub use config::{BarrierKind, CpuConfig, ExchangeOrder, MachineConfig, NetConfig, SoftwareConfig};
+pub use fault::{DegradeWindow, FaultConfig, StallConfig};
 pub use message::{Injection, MsgKind};
 pub use network::{Delivery, Network};
 pub use stats::NetStats;

@@ -9,6 +9,7 @@
 //! timing equations.
 
 use crate::config::NetConfig;
+use crate::fault::FaultConfig;
 use crate::message::Injection;
 use crate::stats::NetStats;
 use crate::time::Cycles;
@@ -43,6 +44,12 @@ pub struct Network {
     by_sender: Vec<Vec<usize>>,
     by_receiver: Vec<Vec<usize>>,
     fabric_order: Vec<usize>,
+    /// Monotone sequence number for fault-eligible transmissions —
+    /// the coordinate [`FaultConfig::drop_at`] keys on.
+    fault_seq: u64,
+    /// Per-message drop flags of the most recent
+    /// [`Network::transmit_into_faulty`] batch.
+    dropped: Vec<bool>,
 }
 
 impl Network {
@@ -61,6 +68,8 @@ impl Network {
             by_sender: vec![Vec::new(); p],
             by_receiver: vec![Vec::new(); p],
             fabric_order: Vec::new(),
+            fault_seq: 0,
+            dropped: Vec::new(),
         }
     }
 
@@ -74,12 +83,14 @@ impl Network {
         &self.cfg
     }
 
-    /// Reset all engine timelines to zero and clear statistics.
+    /// Reset all engine timelines to zero and clear statistics (the
+    /// fault sequence counter too, so faulted runs replay exactly).
     pub fn reset(&mut self) {
         self.send_free.fill(Cycles::ZERO);
         self.recv_free.fill(Cycles::ZERO);
         self.fabric_free = Cycles::ZERO;
         self.stats.clear();
+        self.fault_seq = 0;
     }
 
     /// Declare that `node` is busy (e.g. computing) until `t`; its
@@ -146,8 +157,82 @@ impl Network {
     /// [`Network::transmit`] into a caller-provided buffer, reusing
     /// its capacity (and the network's internal index queues) so that
     /// repeated exchanges allocate nothing in steady state. Timing is
-    /// identical to `transmit`.
+    /// identical to `transmit`. Fault injection is **not** applied —
+    /// this is the reliable control-plane path.
     pub fn transmit_into(&mut self, msgs: &[Injection], deliveries: &mut Vec<Delivery>) {
+        self.transmit_impl(msgs, deliveries, false, None);
+    }
+
+    /// Like [`Network::transmit_into`], but subject to the configured
+    /// [`FaultConfig`] (the data-plane path): each transmission may
+    /// be dropped, degraded, or stalled. Per-message drop flags are
+    /// readable via [`Network::last_dropped`] until the next faulty
+    /// transmission. Without a fault configuration this is exactly
+    /// `transmit_into` plus an all-false flag vector.
+    ///
+    /// A dropped message occupies its sender's NIC (and the shared
+    /// fabric, if modeled) — the bytes really departed — but never
+    /// reaches the receive engine; its [`Delivery::visible`] is
+    /// meaningless and callers must consult the drop flag.
+    pub fn transmit_into_faulty(&mut self, msgs: &[Injection], deliveries: &mut Vec<Delivery>) {
+        self.transmit_impl(msgs, deliveries, true, None);
+    }
+
+    /// Like [`Network::transmit_into_faulty`], but with explicit fault
+    /// keys (one per message) instead of consuming the network's
+    /// sequence stream. Used by retry protocols: keying a resend on
+    /// (original sequence, attempt) keeps the primary stream aligned
+    /// across fault configurations, so the drop schedule at a lower
+    /// probability stays a subset of the schedule at a higher one even
+    /// though the two runs resend different batches.
+    pub fn transmit_into_faulty_keyed(
+        &mut self,
+        msgs: &[Injection],
+        deliveries: &mut Vec<Delivery>,
+        keys: &[u64],
+    ) {
+        assert_eq!(keys.len(), msgs.len(), "fault keys must parallel the batch");
+        self.transmit_impl(msgs, deliveries, true, Some(keys));
+    }
+
+    /// The sequence number the next message of a (non-keyed) faulty
+    /// transmission will draw its drop decision from.
+    pub fn next_fault_seq(&self) -> u64 {
+        self.fault_seq
+    }
+
+    /// Drop flags of the most recent [`Network::transmit_into_faulty`]
+    /// batch, parallel to its input slice.
+    pub fn last_dropped(&self) -> &[bool] {
+        &self.dropped
+    }
+
+    fn transmit_impl(
+        &mut self,
+        msgs: &[Injection],
+        deliveries: &mut Vec<Delivery>,
+        faulty: bool,
+        keys: Option<&[u64]>,
+    ) {
+        // Fault decisions draw on (seed, sequence) in input order, so
+        // the schedule is a pure function of the config seed and the
+        // (deterministic) order of injections. Explicit keys bypass
+        // the stream without advancing it.
+        let faults: Option<FaultConfig> = if faulty { self.cfg.faults } else { None };
+        if faulty {
+            self.dropped.clear();
+            match &faults {
+                Some(f) => match keys {
+                    Some(ks) => self.dropped.extend(ks.iter().map(|&k| f.drop_at(k))),
+                    None => {
+                        let base = self.fault_seq;
+                        self.dropped.extend((0..msgs.len()).map(|i| f.drop_at(base + i as u64)));
+                        self.fault_seq += msgs.len() as u64;
+                    }
+                },
+                None => self.dropped.resize(msgs.len(), false),
+            }
+        }
         let latency = Cycles::new(self.cfg.latency);
         let n = msgs.len();
         deliveries.clear();
@@ -170,12 +255,25 @@ impl Network {
             let mut free = self.send_free[src];
             for &i in queue.iter() {
                 let m = &msgs[i];
-                let busy = self.cfg.send_busy(m.bytes);
-                let start = m.ready.max(free);
+                // Faulted sends may start late (stall burst) and pay a
+                // degraded gap/latency; the fault-free arm is the exact
+                // original arithmetic, so zero-fault runs are
+                // byte-identical.
+                let (start, busy, lat) = match &faults {
+                    Some(f) => {
+                        let start = f.stall_release(src, m.ready.max(free));
+                        let (lat_f, gap_f) = f.degrade_factors(start);
+                        let busy = Cycles::new(
+                            self.cfg.send_overhead + self.cfg.gap_per_byte * gap_f * m.bytes as f64,
+                        );
+                        (start, busy, Cycles::new(self.cfg.latency * lat_f))
+                    }
+                    None => (m.ready.max(free), self.cfg.send_busy(m.bytes), latency),
+                };
                 let depart = start + busy;
                 free = depart;
                 deliveries[i].depart = depart;
-                deliveries[i].arrive = if m.src == m.dst { depart } else { depart + latency };
+                deliveries[i].arrive = if m.src == m.dst { depart } else { depart + lat };
             }
             self.send_free[src] = free;
         }
@@ -208,6 +306,12 @@ impl Network {
             queue.clear();
         }
         for (i, m) in msgs.iter().enumerate() {
+            if faulty && self.dropped[i] {
+                // Lost in the wire: the receive engine never sees it.
+                deliveries[i].visible = deliveries[i].arrive;
+                self.stats.dropped += 1;
+                continue;
+            }
             self.by_receiver[m.dst].push(i);
         }
         for (dst, queue) in self.by_receiver.iter_mut().enumerate() {
@@ -247,6 +351,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DegradeWindow, StallConfig};
     use crate::message::MsgKind;
 
     fn net(p: usize) -> Network {
@@ -439,6 +544,121 @@ mod tests {
         let a = with.transmit(&[inj(0, 1, 1000, 0.0)]);
         let b = without.transmit(&[inj(0, 1, 1000, 0.0)]);
         assert!((a[0].visible.get() - b[0].visible.get()).abs() < 11.0);
+    }
+
+    #[test]
+    fn faulty_transmit_without_config_matches_reliable_path() {
+        let msgs: Vec<_> = (0..40)
+            .map(|i| inj(i % 4, (i * 3 + 1) % 4, (i as u64 * 17) % 300, (i % 7) as f64))
+            .collect();
+        let mut a = net(4);
+        let da = a.transmit(&msgs);
+        let mut b = net(4);
+        let mut db = Vec::new();
+        b.transmit_into_faulty(&msgs, &mut db);
+        assert_eq!(da, db);
+        assert!(b.last_dropped().iter().all(|&d| !d));
+        assert_eq!(b.stats().dropped, 0);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn faulty_transmit_drops_and_counts() {
+        let cfg =
+            NetConfig { faults: Some(FaultConfig::drops(11, 0.5)), ..NetConfig::paper_default() };
+        let mut n = Network::new(4, cfg);
+        let msgs: Vec<_> = (0..200).map(|i| inj(i % 4, (i + 1) % 4, 64, 0.0)).collect();
+        let mut d = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d);
+        let dropped = n.last_dropped().iter().filter(|&&x| x).count();
+        assert!(dropped > 50 && dropped < 150, "dropped {dropped}/200");
+        assert_eq!(n.stats().dropped, dropped as u64);
+        // Delivered count excludes drops.
+        assert_eq!(n.stats().messages, (200 - dropped) as u64);
+        // A dropped message still departed but was never ingested.
+        for (i, del) in d.iter().enumerate() {
+            if n.last_dropped()[i] {
+                assert_eq!(del.visible, del.arrive);
+            } else {
+                assert!(del.visible > del.arrive);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_replays_after_reset() {
+        let cfg =
+            NetConfig { faults: Some(FaultConfig::drops(3, 0.3)), ..NetConfig::paper_default() };
+        let msgs: Vec<_> = (0..100).map(|i| inj(i % 4, (i + 1) % 4, 32, 0.0)).collect();
+        let mut n = Network::new(4, cfg);
+        let mut d1 = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d1);
+        let drops1: Vec<bool> = n.last_dropped().to_vec();
+        n.reset();
+        let mut d2 = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d2);
+        assert_eq!(drops1, n.last_dropped());
+        assert_eq!(d1, d2);
+        // Without a reset the sequence advances: a second batch sees
+        // fresh draws, not a replay.
+        let mut d3 = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d3);
+        assert_ne!(drops1, n.last_dropped());
+    }
+
+    #[test]
+    fn reliable_path_ignores_fault_config() {
+        let cfg =
+            NetConfig { faults: Some(FaultConfig::drops(11, 0.9)), ..NetConfig::paper_default() };
+        let mut with = Network::new(2, cfg);
+        let mut without = net(2);
+        let msgs: Vec<_> = (0..20).map(|_| inj(0, 1, 100, 0.0)).collect();
+        assert_eq!(with.transmit(&msgs), without.transmit(&msgs));
+        assert_eq!(with.stats().dropped, 0);
+    }
+
+    #[test]
+    fn degradation_window_slows_sends_inside_it() {
+        let fc = FaultConfig::drops(1, 0.0).with_degrade(DegradeWindow {
+            start: 0.0,
+            end: 10_000.0,
+            latency_factor: 4.0,
+            gap_factor: 2.0,
+        });
+        let cfg = NetConfig { faults: Some(fc), ..NetConfig::paper_default() };
+        let mut n = Network::new(2, cfg);
+        let mut d = Vec::new();
+        // Starts at 0, inside the window: gap doubled, latency x4.
+        n.transmit_into_faulty(&[inj(0, 1, 100, 0.0)], &mut d);
+        assert_eq!(d[0].depart.get(), 400.0 + 2.0 * 300.0);
+        assert_eq!(d[0].arrive.get(), d[0].depart.get() + 4.0 * 1600.0);
+        // Starts after the window: baseline timing.
+        let mut late = Vec::new();
+        n.reset();
+        n.transmit_into_faulty(&[inj(0, 1, 100, 20_000.0)], &mut late);
+        assert_eq!(late[0].depart.get(), 20_000.0 + 700.0);
+        assert_eq!(late[0].arrive.get(), late[0].depart.get() + 1600.0);
+    }
+
+    #[test]
+    fn stall_burst_defers_the_send_engine() {
+        let fc =
+            FaultConfig::drops(1, 0.0).with_stall(StallConfig { period: 1e9, duration: 50_000.0 });
+        let cfg = NetConfig { faults: Some(fc), ..NetConfig::paper_default() };
+        let mut n = Network::new(2, cfg);
+        let mut d = Vec::new();
+        n.transmit_into_faulty(&[inj(0, 1, 0, 0.0)], &mut d);
+        let mut base = Vec::new();
+        let mut plain = net(2);
+        plain.transmit_into(&[inj(0, 1, 0, 0.0)], &mut base);
+        // Whether the (jittered) burst covers t=0 depends on the seed;
+        // either way the send never departs *earlier* than fault-free,
+        // and the same machine replays identically.
+        assert!(d[0].depart >= base[0].depart);
+        n.reset();
+        let mut d2 = Vec::new();
+        n.transmit_into_faulty(&[inj(0, 1, 0, 0.0)], &mut d2);
+        assert_eq!(d, d2);
     }
 
     #[test]

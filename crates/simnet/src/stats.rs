@@ -20,6 +20,9 @@ pub struct NetStats {
     pub send_busy: Cycles,
     /// Cycles all receivers spent busy (overhead + ingestion).
     pub recv_busy: Cycles,
+    /// Transmissions lost to fault injection (never delivered; not
+    /// counted in `messages`). Always 0 on a fault-free network.
+    pub dropped: u64,
     /// Per-kind message counts, indexed by [`MsgKind::index`].
     by_kind: [u64; MsgKind::COUNT],
     /// Per-kind wire bytes, indexed by [`MsgKind::index`].
