@@ -10,7 +10,7 @@
 //! backend was requested.
 
 use qsm_core::{AnyMachine, SimMachine, ThreadMachine};
-use qsm_simnet::{CpuConfig, MachineConfig};
+use qsm_simnet::{BankModel, CpuConfig, MachineConfig};
 
 /// Which [`qsm_core::Machine`] the harness runs programs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +55,16 @@ impl Backend {
     /// Build the machine for one measurement run. On the threads
     /// backend, `cfg` becomes the reference machine its
     /// [`qsm_core::CostReport`] predictions are computed against.
+    ///
+    /// When the `QSM_BANKS` knob enables a destination-bank model and
+    /// `cfg` does not already carry one, it is installed here — so any
+    /// figure's machine can be rerun with banked memory without code
+    /// changes. A config that chose its own bank model wins.
     pub fn machine(self, cfg: MachineConfig, seed: u64) -> AnyMachine {
+        let cfg = match (env_banks(), cfg.net.banks) {
+            (Some(b), None) => cfg.with_banks(b),
+            _ => cfg,
+        };
         match self {
             Backend::Sim => AnyMachine::from(SimMachine::new(cfg).with_seed(seed)),
             Backend::Threads => {
@@ -82,6 +91,35 @@ impl Backend {
             Backend::Threads => t / 1000.0,
         }
     }
+}
+
+/// Cycles of bank service per wire byte when `QSM_BANK_SERVICE` is
+/// unset: 4× the wire gap, so a bank drains slower than the NIC
+/// ingests and same-bank pileups actually queue (a bank at or below
+/// the wire rate can never be the bottleneck behind a 3 c/B NIC).
+pub const DEFAULT_BANK_SERVICE: usize = 12;
+
+/// The destination-bank model selected by the environment:
+/// `QSM_BANKS=b` puts `b` FIFO banks on every node (`0` or unset
+/// keeps banks off — the exact pre-bank arithmetic), and
+/// `QSM_BANK_SERVICE=c` sets the per-byte service cost in cycles
+/// (default [`DEFAULT_BANK_SERVICE`]). Both parse through the
+/// warn-once [`crate::parse_usize_knob`] path.
+pub fn env_banks() -> Option<BankModel> {
+    banks_from_knobs(crate::env_usize("QSM_BANKS"), crate::env_usize("QSM_BANK_SERVICE"))
+}
+
+/// Pure half of [`env_banks`]: combine the two parsed knob values.
+pub fn banks_from_knobs(banks: Option<usize>, service: Option<usize>) -> Option<BankModel> {
+    let banks = banks.unwrap_or(0);
+    if banks == 0 {
+        return None;
+    }
+    Some(BankModel {
+        banks_per_node: banks,
+        service_fixed: 0.0,
+        service_per_byte: service.unwrap_or(DEFAULT_BANK_SERVICE) as f64,
+    })
 }
 
 /// Announce that a figure is parameterized over *simulated* machine
@@ -118,6 +156,25 @@ mod tests {
             assert_eq!(m.seed(), 7);
             assert_eq!(m.backend_name(), b.name());
         }
+    }
+
+    #[test]
+    fn bank_knobs_compose_through_the_strict_parser() {
+        use crate::parse_usize_knob;
+        // Unset or zero banks keep the model off, whatever the
+        // service knob says.
+        assert_eq!(banks_from_knobs(None, None), None);
+        assert_eq!(banks_from_knobs(None, Some(7)), None);
+        assert_eq!(banks_from_knobs(Some(0), Some(7)), None);
+        // Enabled: banks count and service rate land in the model.
+        let b = banks_from_knobs(Some(8), None).unwrap();
+        assert_eq!(b.banks_per_node, 8);
+        assert_eq!(b.service_per_byte, DEFAULT_BANK_SERVICE as f64);
+        assert_eq!(b.service_fixed, 0.0);
+        assert_eq!(banks_from_knobs(Some(4), Some(30)).unwrap().service_per_byte, 30.0);
+        // A garbage value goes through parse_usize_knob's warn-once
+        // fallback, i.e. behaves as unset rather than panicking.
+        assert_eq!(banks_from_knobs(parse_usize_knob("QSM_BANKS", Some("lots")), None), None);
     }
 
     #[test]

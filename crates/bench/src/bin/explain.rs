@@ -5,7 +5,10 @@
 //! phase-by-phase table: measured elapsed/compute/comm times next to
 //! each model's per-phase communication prediction (QSM, s-QSM, BSP,
 //! LogP, all on hardware parameters — the same inputs as
-//! [`qsm_core::CostReport`]), the phase's contention κ, and which
+//! [`qsm_core::CostReport`]), the phase's contention κ, the observed
+//! bank-κ and bank queuing time when a destination-bank model is
+//! active (`QSM_BANKS`; both columns read 0 without one, and on the
+//! threads backend, which does not simulate banks), and which
 //! processor reached the barrier last. The [`qsm_core::CostReport`]
 //! summary follows.
 //!
@@ -106,15 +109,32 @@ fn main() {
                 format!("{:.0}", m.bsp.phase_comm_cost(&r.profile)),
                 format!("{:.0}", m.logp.phase_comm_cost(&r.profile)),
                 r.profile.kappa.to_string(),
+                r.bank_kappa.to_string(),
+                format!("{:.0}", r.bank_wait.get()),
                 slowest[k].map_or_else(|| "-".into(), |l| format!("p{l}")),
             ]
         })
         .collect();
-    let headers =
-        ["phase", "elapsed", "compute", "comm", "qsm", "sqsm", "bsp", "logp", "kappa", "slowest"];
+    let headers = [
+        "phase",
+        "elapsed",
+        "compute",
+        "comm",
+        "qsm",
+        "sqsm",
+        "bsp",
+        "logp",
+        "kappa",
+        "bank_kappa",
+        "bank_wait",
+        "slowest",
+    ];
 
     println!("== explain — {algo}, p = {p}, n = {n}, backend = {} ==", machine.backend_name());
-    println!("(measured columns in {unit}; model columns are per-phase predicted communication in cycles)");
+    println!(
+        "(measured columns incl. bank_wait in {unit}; model columns are per-phase predicted \
+         communication in cycles; bank_kappa in 4-byte words)"
+    );
     println!("{}", table(&headers, &rows));
     print!("{report}");
 

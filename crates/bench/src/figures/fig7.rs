@@ -8,7 +8,7 @@
 //! avoid a catastrophic worst case. A native run on the host (padded
 //! atomics as banks) is appended as a real-hardware data point.
 
-use qsm_membank::{machine, run_all, NativeBank, Pattern, Sample, SimBank};
+use qsm_membank::{platform, run_all, NativeBank, Pattern, Sample, SimBank};
 
 use crate::output::{csv, table};
 use crate::{Report, RunCfg};
@@ -40,7 +40,7 @@ fn push_panel(
 pub fn run(cfg: &RunCfg) -> Report {
     let accesses = if cfg.fast { 2_000 } else { 20_000 };
     let mut rows = Vec::new();
-    for m in machine::figure7_machines() {
+    for m in platform::figure7_machines() {
         let samples = run_all(&SimBank { machine: &m, seed: 0x1998 }, accesses);
         push_panel(&mut rows, m.name, &samples, 0);
     }

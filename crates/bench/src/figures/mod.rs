@@ -16,8 +16,10 @@
 //! | [`ext_straggler`] | (ours) | heterogeneous-processors extension |
 //! | [`ext_hotspot`] | (ours) | hot-spot contention: QSM κ vs s-QSM g·κ |
 //! | [`ext_faults`] | (ours) | message loss + retry protocol vs reliable-network assumption |
+//! | [`ext_banks`] | (ours) | bank contention through the full get/put/sync pipeline |
 
 pub mod ablations;
+pub mod ext_banks;
 pub mod ext_fabric;
 pub mod ext_faults;
 pub mod ext_hotspot;

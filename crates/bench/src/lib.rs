@@ -22,6 +22,11 @@
 //! `QSM_BACKEND=sim|threads` (see [`backend`]) selects the
 //! [`qsm_core::Machine`] the algorithm figures run on — the
 //! deterministic simulator (default) or real host threads.
+//! `QSM_BANKS=b` puts `b` FIFO memory banks on every node of the
+//! simulated machine and `QSM_BANK_SERVICE=c` tunes their per-byte
+//! service cost in cycles (see [`backend::env_banks`]; unset or `0`
+//! banks keeps the exact bank-free arithmetic, so all default CSVs
+//! are unchanged).
 //!
 //! Observability knobs (see [`obs`]): `QSM_TRACE=path.json` captures
 //! a Perfetto trace of the run, `QSM_METRICS=path.json` dumps the

@@ -72,6 +72,13 @@ pub struct CostReport {
     pub retries: u64,
     /// Total transmissions lost to fault injection (all re-delivered).
     pub dropped_msgs: u64,
+    /// Observed bank-κ: the maximum over phases of the heaviest
+    /// per-`(node, bank)` word load (0 unless a destination-bank
+    /// model is enabled).
+    pub bank_kappa: u64,
+    /// Total destination-bank queuing across all deliveries of the
+    /// run (zero without a bank model).
+    pub bank_wait: Cycles,
     /// Model parameters used for the prediction columns.
     pub models: ModelInputs,
     /// Predicted communication time under QSM.
@@ -117,6 +124,8 @@ impl CostReport {
             payload_bytes: phases.iter().map(|r| r.payload_bytes).sum(),
             retries: phases.iter().map(|r| r.retries).sum(),
             dropped_msgs: phases.iter().map(|r| r.dropped_msgs).sum(),
+            bank_kappa: phases.iter().map(|r| r.bank_kappa).max().unwrap_or(0),
+            bank_wait: phases.iter().map(|r| r.bank_wait).sum(),
             models,
             qsm_comm: profile.qsm_comm_cost(&models.qsm),
             sqsm_comm: profile.sqsm_comm_cost(&models.sqsm),
@@ -170,6 +179,15 @@ impl fmt::Display for CostReport {
                 self.dropped_msgs, self.retries
             )?;
         }
+        if self.bank_kappa > 0 || self.bank_wait > Cycles::ZERO {
+            writeln!(
+                f,
+                "  banks:    observed bank-\u{3ba} {} words, {:.0} {} queued at banks",
+                self.bank_kappa,
+                self.bank_wait.get(),
+                self.measured_unit
+            )?;
+        }
         writeln!(f, "  predicted communication (hardware parameters):")?;
         for (name, v) in [
             ("QSM", self.qsm_comm),
@@ -205,6 +223,8 @@ mod tests {
             payload_bytes: m_rw * 4,
             retries: 0,
             dropped_msgs: 0,
+            bank_kappa: 0,
+            bank_wait: Cycles::ZERO,
         }
     }
 

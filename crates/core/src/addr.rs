@@ -73,6 +73,58 @@ pub fn owner(layout: Layout, id: ArrayId, len: usize, p: usize, idx: usize) -> u
     }
 }
 
+/// Destination memory bank of `idx` in array `id` under `layout`,
+/// for a machine with `banks` banks per node.
+///
+/// * [`Layout::Block`] interleaves consecutive global indices across
+///   banks (`idx mod banks`), the classic word-interleaved layout —
+///   a unit-stride scan of one owner's block cycles through all of
+///   its banks, while a stride-`banks` scan hammers a single bank
+///   (the Section 4 *Conflict* pattern).
+/// * [`Layout::Hashed`] draws the bank from the high bits of the same
+///   per-index hash that picks the owner, so bank placement is
+///   pseudo-random but deterministic and uncorrelated with the
+///   owner's low-bits draw.
+pub fn bank_of(layout: Layout, id: ArrayId, banks: usize, idx: usize) -> usize {
+    debug_assert!(banks >= 1);
+    match layout {
+        Layout::Block => idx % banks,
+        Layout::Hashed => ((mix64((id.0 as u64) << 40 | idx as u64) >> 32) % banks as u64) as usize,
+    }
+}
+
+/// Visit the per-bank element counts of the global range
+/// `start..start+len` as `(bank, count)` calls, in deterministic
+/// order. Block layouts need at most `min(banks, len)` visits
+/// (arithmetic on the interleave); hashed layouts walk per element.
+///
+/// Like [`for_each_owner_run`] this is allocation-free: the driver's
+/// bank metering calls it once per owner run of every queued
+/// operation when a bank model is enabled.
+pub fn for_each_bank_run(
+    layout: Layout,
+    id: ArrayId,
+    banks: usize,
+    start: usize,
+    len: usize,
+    mut visit: impl FnMut(usize, usize),
+) {
+    match layout {
+        Layout::Block => {
+            // Offsets r, r+banks, r+2·banks, … of the range share
+            // bank (start + r) mod banks.
+            for r in 0..banks.min(len) {
+                visit((start + r) % banks, (len - r).div_ceil(banks));
+            }
+        }
+        Layout::Hashed => {
+            for idx in start..start + len {
+                visit(bank_of(layout, id, banks, idx), 1);
+            }
+        }
+    }
+}
+
 /// Visit the maximal single-cost-owner runs of the global range
 /// `start..start+len` in ascending index order, as
 /// `(owner, run_start, run_len)` calls. Block layouts yield at most
@@ -243,6 +295,54 @@ mod tests {
     fn out_of_bounds_split_rejected() {
         let _ = split_by_owner(Layout::Block, ArrayId(0), 10, 2, 8, 5);
     }
+
+    #[test]
+    fn block_banks_interleave() {
+        for idx in 0..64 {
+            assert_eq!(bank_of(Layout::Block, ArrayId(0), 8, idx), idx % 8);
+        }
+    }
+
+    #[test]
+    fn bank_runs_count_every_element() {
+        for (layout, banks, start, len) in [
+            (Layout::Block, 8, 3, 100),
+            (Layout::Block, 16, 0, 5),
+            (Layout::Hashed, 8, 7, 64),
+            (Layout::Block, 4, 2, 0),
+        ] {
+            let mut counts = vec![0usize; banks];
+            for_each_bank_run(layout, ArrayId(5), banks, start, len, |b, c| counts[b] += c);
+            let mut expect = vec![0usize; banks];
+            for idx in start..start + len {
+                expect[bank_of(layout, ArrayId(5), banks, idx)] += 1;
+            }
+            assert_eq!(counts, expect, "{layout:?} banks={banks} start={start} len={len}");
+        }
+    }
+
+    #[test]
+    fn hashed_banks_uncorrelated_with_owner() {
+        // A single owner's hashed indices should still spread across
+        // banks (the two draws use different hash bits).
+        let id = ArrayId(2);
+        let (p, banks, len) = (8, 8, 8000);
+        let mut counts = vec![0usize; banks];
+        let mut n = 0;
+        for idx in 0..len {
+            if owner(Layout::Hashed, id, len, p, idx) == 0 {
+                counts[bank_of(Layout::Hashed, id, banks, idx)] += 1;
+                n += 1;
+            }
+        }
+        let expect = n / banks;
+        for (b, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as f64) > 0.5 * expect as f64 && (*c as f64) < 1.5 * expect as f64,
+                "bank {b} got {c} of ~{expect}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +357,62 @@ mod proptests {
             let o = block_owner(len, p, idx);
             prop_assert!(o < p);
             prop_assert!(block_range(len, p, o).contains(&idx));
+        }
+
+        /// `block_owner` is the exact inverse of `block_range`:
+        /// every index of every processor's range maps back to that
+        /// processor, and every index's owner range contains it. The
+        /// generator forces `len % p != 0` so the uneven split (first
+        /// `len mod p` processors one element larger) and both sides
+        /// of the remainder boundary are always exercised.
+        #[test]
+        fn block_owner_inverts_block_range_with_remainder(
+            len in 2usize..10_000,
+            praw in 2usize..64,
+        ) {
+            let p = praw.min(len);
+            // Force an uneven split (p >= 2, so len+1 never divides).
+            let len = if len % p == 0 { len + 1 } else { len };
+            let rem = len % p;
+            let boundary = rem * (len / p + 1);
+            // Exact inverse in both directions across the remainder
+            // boundary and the array's edges.
+            for idx in [0, boundary - 1, boundary, (boundary + 1).min(len - 1), len - 1] {
+                let o = block_owner(len, p, idx);
+                prop_assert!(block_range(len, p, o).contains(&idx));
+            }
+            for proc in 0..p {
+                let r = block_range(len, p, proc);
+                prop_assert_eq!(r.len(), len / p + usize::from(proc < rem));
+                for idx in [r.start, r.start + r.len() / 2, r.end - 1] {
+                    prop_assert_eq!(block_owner(len, p, idx), proc,
+                        "len={} p={} idx={}", len, p, idx);
+                }
+            }
+        }
+
+        /// `Layout::Hashed` spreads any contiguous index range across
+        /// owners within a pinned imbalance bound: no owner receives
+        /// more than twice its fair share plus a small-sample
+        /// allowance.
+        #[test]
+        fn hashed_layout_spreads_contiguous_ranges(
+            id in 0u32..1000,
+            p in 2usize..32,
+            start in 0usize..100_000,
+            len in 256usize..4096,
+        ) {
+            let array_len = start + len;
+            let mut counts = vec![0usize; p];
+            for idx in start..start + len {
+                counts[owner(Layout::Hashed, ArrayId(id), array_len, p, idx)] += 1;
+            }
+            let fair = len as f64 / p as f64;
+            let bound = 2.0 * fair + 8.0;
+            for (o, c) in counts.iter().enumerate() {
+                prop_assert!((*c as f64) <= bound,
+                    "owner {} got {} of fair {:.1} (bound {:.1})", o, c, fair, bound);
+            }
         }
 
         #[test]

@@ -113,6 +113,20 @@ pub struct CommMatrix {
     pairs: Vec<PairTraffic>,
     touched: Vec<bool>,
     dirty: Vec<u32>,
+    /// Optional per-bank refinement (enabled only when the backend's
+    /// machine models destination banks).
+    bank: Option<BankLayer>,
+}
+
+/// Per-bank refinement of the traffic matrix: one [`PairTraffic`]
+/// cell per `(src, dst, bank)`, with its own dirty list. Allocated
+/// only when a bank model is enabled, so bank-free runs pay nothing.
+#[derive(Debug, Clone)]
+struct BankLayer {
+    banks: usize,
+    cells: Vec<PairTraffic>,
+    touched: Vec<bool>,
+    dirty: Vec<u32>,
 }
 
 impl CommMatrix {
@@ -123,6 +137,7 @@ impl CommMatrix {
             pairs: vec![PairTraffic::default(); p * p],
             touched: vec![false; p * p],
             dirty: Vec::new(),
+            bank: None,
         }
     }
 
@@ -170,6 +185,65 @@ impl CommMatrix {
             self.touched[idx as usize] = false;
         }
         self.dirty.clear();
+        if let Some(layer) = &mut self.bank {
+            for &idx in &layer.dirty {
+                layer.cells[idx as usize] = PairTraffic::default();
+                layer.touched[idx as usize] = false;
+            }
+            layer.dirty.clear();
+        }
+    }
+
+    /// Switch on the per-bank refinement with `banks` banks per node
+    /// (idempotent; reallocates only when the count changes).
+    pub fn enable_banks(&mut self, banks: usize) {
+        assert!(banks >= 1);
+        if self.bank.as_ref().is_some_and(|l| l.banks == banks) {
+            return;
+        }
+        let n = self.p * self.p * banks;
+        self.bank = Some(BankLayer {
+            banks,
+            cells: vec![PairTraffic::default(); n],
+            touched: vec![false; n],
+            dirty: Vec::new(),
+        });
+    }
+
+    /// Banks per node of the enabled refinement (0 when disabled).
+    pub fn banks(&self) -> usize {
+        self.bank.as_ref().map_or(0, |l| l.banks)
+    }
+
+    /// Traffic from `src` to bank `bank` of owner `dst` (requires an
+    /// enabled bank layer).
+    pub fn at_bank(&self, src: usize, dst: usize, bank: usize) -> &PairTraffic {
+        let layer = self.bank.as_ref().expect("bank layer not enabled");
+        &layer.cells[(src * self.p + dst) * layer.banks + bank]
+    }
+
+    /// Mutable per-bank traffic cell; marks it dirty.
+    pub fn at_bank_mut(&mut self, src: usize, dst: usize, bank: usize) -> &mut PairTraffic {
+        let layer = self.bank.as_mut().expect("bank layer not enabled");
+        let idx = (src * self.p + dst) * layer.banks + bank;
+        if !layer.touched[idx] {
+            layer.touched[idx] = true;
+            layer.dirty.push(idx as u32);
+        }
+        &mut layer.cells[idx]
+    }
+
+    /// Visit every dirty `(src, dst, bank, traffic)` cell of the bank
+    /// layer, in first-touch order (order-insensitive accumulation
+    /// only). No-op when the layer is disabled.
+    pub fn for_each_dirty_bank(&self, mut visit: impl FnMut(usize, usize, usize, &PairTraffic)) {
+        if let Some(layer) = &self.bank {
+            for &idx in &layer.dirty {
+                let idx = idx as usize;
+                let pair = idx / layer.banks;
+                visit(pair / self.p, pair % self.p, idx % layer.banks, &layer.cells[idx]);
+            }
+        }
     }
 }
 
@@ -203,6 +277,15 @@ pub struct PhaseRecord {
     /// Transmissions lost to fault injection (each later
     /// re-delivered; 0 on fault-free runs and wall-clock backends).
     pub dropped_msgs: u64,
+    /// Observed bank-κ: the most 4-byte accounting words any single
+    /// `(node, bank)` served this phase — the bank-level analogue of
+    /// the module-level κ in `profile.kappa`. Zero when no bank model
+    /// is enabled.
+    pub bank_kappa: u64,
+    /// Summed destination-bank queuing across the phase's deliveries
+    /// (zero without a bank model, and on wall-clock backends, which
+    /// do not simulate banks).
+    pub bank_wait: Cycles,
 }
 
 /// Per-array access ranges used for κ and conflict detection.
@@ -303,6 +386,13 @@ pub(crate) struct Driver {
     accesses: Vec<AccessRanges>,
     touched_arrays: Vec<u32>,
     kappa_events: Vec<(usize, bool, i64, i64)>,
+    /// Banks per node when the backend models destination banks
+    /// (0 = bank metering off; set once per run from the timer).
+    banks: usize,
+    /// Dense `(node, bank)` word-load scratch for the bank-κ sweep,
+    /// paired with the indices touched this phase.
+    bank_load: Vec<u64>,
+    bank_load_touched: Vec<u32>,
 }
 
 /// Everything the plan stage decides about a phase before any data
@@ -311,6 +401,8 @@ struct PhasePlan {
     new_arrays: Vec<ArrayInfo>,
     unregs: Vec<ArrayId>,
     kappa: u64,
+    /// Observed bank-κ (0 when bank metering is off).
+    bank_kappa: u64,
     data_msgs: u64,
     payload_bytes: u64,
 }
@@ -337,6 +429,9 @@ impl Driver {
             accesses: Vec::new(),
             touched_arrays: Vec::new(),
             kappa_events: Vec::new(),
+            banks: 0,
+            bank_load: Vec::new(),
+            bank_load_touched: Vec::new(),
         }
     }
 
@@ -349,6 +444,13 @@ impl Driver {
         txs: &[Sender<DriverReply>],
         timer: &mut dyn PhaseTimer,
     ) -> Result<Vec<PhaseRecord>, Box<dyn std::any::Any + Send>> {
+        // Bank metering follows the backend's machine model: enabled
+        // once per run, so bank-free runs never touch the layer.
+        if let Some(bm) = timer.bank_model() {
+            self.banks = bm.banks_per_node;
+            self.matrix.enable_banks(self.banks);
+            self.bank_load = vec![0; self.p * self.banks];
+        }
         let mut records = Vec::new();
         loop {
             let mut syncs: Vec<Option<SyncPayload>> = (0..self.p).map(|_| None).collect();
@@ -427,7 +529,8 @@ impl Driver {
         let mut replies = self.exchange_stage(&mut payloads, &plan);
         let timing = self.price_stage(&payloads, timer);
         let faults = timer.fault_counts();
-        let record = self.record_stage(&plan, timing, faults);
+        let bank_wait = timer.bank_wait();
+        let record = self.record_stage(&plan, timing, faults, bank_wait);
         self.handback_stage(&mut replies, &plan);
         (replies, record)
     }
@@ -478,6 +581,7 @@ impl Driver {
 
         // --- Metering: comm matrix, per-proc counters, κ sweep ---
         debug_assert!(this.matrix.is_empty());
+        let banks = this.banks;
         for payload in payloads {
             let src = payload.proc;
             for op in &payload.ops.puts {
@@ -496,7 +600,7 @@ impl Driver {
                     p,
                     op.start,
                     op.data.len(),
-                    |owner, _s, l| {
+                    |owner, s, l| {
                         let cell = matrix.at_mut(src, owner);
                         // The library is word-granular, as in the paper:
                         // every 4-byte word carries its own item header
@@ -506,6 +610,21 @@ impl Driver {
                         cell.put_items += l as u64 * wpe;
                         cell.put_words += l as u64 * wpe;
                         cell.put_payload_bytes += l as u64 * info.elem_bytes;
+                        if banks > 0 {
+                            crate::addr::for_each_bank_run(
+                                info.layout,
+                                info.id,
+                                banks,
+                                s,
+                                l,
+                                |bank, cnt| {
+                                    let bc = matrix.at_bank_mut(src, owner, bank);
+                                    bc.put_items += cnt as u64 * wpe;
+                                    bc.put_words += cnt as u64 * wpe;
+                                    bc.put_payload_bytes += cnt as u64 * info.elem_bytes;
+                                },
+                            );
+                        }
                     },
                 );
                 this.m_rw[src] += op.data.len() as u64 * wpe;
@@ -526,11 +645,26 @@ impl Driver {
                     p,
                     op.start,
                     op.len,
-                    |owner, _s, l| {
+                    |owner, s, l| {
                         let cell = matrix.at_mut(src, owner);
                         cell.get_items += l as u64 * wpe; // word-granular, see above
                         cell.get_words += l as u64 * wpe;
                         cell.get_reply_payload_bytes += l as u64 * info.elem_bytes;
+                        if banks > 0 {
+                            crate::addr::for_each_bank_run(
+                                info.layout,
+                                info.id,
+                                banks,
+                                s,
+                                l,
+                                |bank, cnt| {
+                                    let bc = matrix.at_bank_mut(src, owner, bank);
+                                    bc.get_items += cnt as u64 * wpe;
+                                    bc.get_words += cnt as u64 * wpe;
+                                    bc.get_reply_payload_bytes += cnt as u64 * info.elem_bytes;
+                                },
+                            );
+                        }
                     },
                 );
                 this.m_rw[src] += op.len as u64 * wpe;
@@ -575,7 +709,31 @@ impl Driver {
             });
         }
 
-        PhasePlan { new_arrays, unregs, kappa, data_msgs, payload_bytes }
+        // Observed bank-κ: the heaviest word load any single
+        // (node, bank) serves this phase — put words written into it
+        // plus get words read out of it.
+        let mut bank_kappa = 0u64;
+        if banks > 0 {
+            let load = &mut this.bank_load;
+            let touched = &mut this.bank_load_touched;
+            this.matrix.for_each_dirty_bank(|_src, dst, bank, c| {
+                let words = c.put_words + c.get_words;
+                if words > 0 {
+                    let idx = dst * banks + bank;
+                    if load[idx] == 0 {
+                        touched.push(idx as u32);
+                    }
+                    load[idx] += words;
+                }
+            });
+            for &idx in touched.iter() {
+                bank_kappa = bank_kappa.max(load[idx as usize]);
+                load[idx as usize] = 0;
+            }
+            touched.clear();
+        }
+
+        PhasePlan { new_arrays, unregs, kappa, bank_kappa, data_msgs, payload_bytes }
     }
 
     /// **Stage 2 — exchange.** Take ownership of the global memory,
@@ -687,6 +845,7 @@ impl Driver {
         plan: &PhasePlan,
         timing: PhaseTiming,
         (retries, dropped_msgs): (u64, u64),
+        bank_wait: Cycles,
     ) -> PhaseRecord {
         let this = &mut *self;
         let p = this.p;
@@ -699,6 +858,13 @@ impl Driver {
             this.rec.add("data_msgs", plan.data_msgs);
             this.rec.add("payload_bytes", plan.payload_bytes);
             this.rec.observe("kappa", plan.kappa);
+            // Bank-κ and bank-wait exist only under a bank model;
+            // emitting conditionally keeps bank-free metrics dumps
+            // byte-identical to pre-bank builds.
+            if this.banks > 0 {
+                this.rec.observe("bank_kappa", plan.bank_kappa);
+                this.rec.add("bank_wait_cycles", bank_wait.get() as u64);
+            }
             if this.rec.is_full() {
                 let t0 = this.now;
                 this.rec.span(SpanKind::PhaseCompute, this.phase_idx, 0, t0, timing.compute);
@@ -710,6 +876,16 @@ impl Driver {
                     timing.comm,
                 );
                 this.rec.counter("kappa", 0, t0 + timing.elapsed, plan.kappa as f64);
+                if this.banks > 0 {
+                    this.rec.span(
+                        SpanKind::BankService,
+                        this.phase_idx,
+                        0,
+                        t0 + timing.compute,
+                        bank_wait,
+                    );
+                    this.rec.counter("bank_kappa", 0, t0 + timing.elapsed, plan.bank_kappa as f64);
+                }
             }
         }
         this.now += timing.elapsed;
@@ -736,6 +912,8 @@ impl Driver {
             payload_bytes: plan.payload_bytes,
             retries,
             dropped_msgs,
+            bank_kappa: plan.bank_kappa,
+            bank_wait,
         }
     }
 
@@ -876,5 +1054,28 @@ mod tests {
         // A touched-but-empty cell still reads as empty overall.
         let _ = m.at_mut(1, 1);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn comm_matrix_bank_layer_tracks_and_clears() {
+        let mut m = CommMatrix::new(2);
+        assert_eq!(m.banks(), 0);
+        m.enable_banks(4);
+        assert_eq!(m.banks(), 4);
+        m.at_bank_mut(0, 1, 2).put_words = 5;
+        m.at_bank_mut(1, 0, 0).get_words = 3;
+        m.at_bank_mut(0, 1, 2).put_items = 5; // second borrow: no dup
+        assert_eq!(m.at_bank(0, 1, 2).put_words, 5);
+        let mut seen = Vec::new();
+        m.for_each_dirty_bank(|s, d, b, c| seen.push((s, d, b, c.put_words + c.get_words)));
+        assert_eq!(seen, vec![(0, 1, 2, 5), (1, 0, 0, 3)]);
+        m.clear();
+        assert_eq!(m.at_bank(0, 1, 2), &PairTraffic::default());
+        let mut n = 0;
+        m.for_each_dirty_bank(|_, _, _, _| n += 1);
+        assert_eq!(n, 0);
+        // Re-enabling at the same count is a no-op.
+        m.enable_banks(4);
+        assert_eq!(m.banks(), 4);
     }
 }

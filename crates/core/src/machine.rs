@@ -53,6 +53,21 @@ pub trait PhaseTimer: Send {
     fn fault_counts(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// The destination-bank model this backend's machine is
+    /// configured with, if any. The driver queries it once per run to
+    /// switch on per-bank traffic metering (observed bank-κ); `None`
+    /// (the default) keeps the bank layer entirely off.
+    fn bank_model(&self) -> Option<qsm_simnet::BankModel> {
+        None
+    }
+
+    /// Summed destination-bank queuing of the phase most recently
+    /// priced (zero without a bank model, and on backends that do
+    /// not simulate banks).
+    fn bank_wait(&self) -> Cycles {
+        Cycles::ZERO
+    }
 }
 
 /// A QSM execution backend.
@@ -225,6 +240,20 @@ impl PhaseTimer for AnyTimer {
         match &self.0 {
             AnyTimerInner::Sim(t) => t.fault_counts(),
             AnyTimerInner::Wall(t) => t.fault_counts(),
+        }
+    }
+
+    fn bank_model(&self) -> Option<qsm_simnet::BankModel> {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.bank_model(),
+            AnyTimerInner::Wall(t) => t.bank_model(),
+        }
+    }
+
+    fn bank_wait(&self) -> Cycles {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.bank_wait(),
+            AnyTimerInner::Wall(t) => t.bank_wait(),
         }
     }
 }

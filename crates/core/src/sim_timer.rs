@@ -18,7 +18,7 @@ use qsm_simnet::{
     NetStats, Network,
 };
 
-use crate::driver::{CommMatrix, PhaseTiming};
+use crate::driver::{CommMatrix, PairTraffic, PhaseTiming};
 use crate::machine::PhaseTimer;
 
 /// Wire bytes of one plan entry (get count + put count for one pair).
@@ -79,6 +79,9 @@ pub struct SimTimer {
     /// Transmissions lost in the phase most recently priced (each
     /// later re-delivered by the retry protocol).
     phase_drops: u64,
+    /// Summed destination-bank queuing over the data deliveries of
+    /// the phase most recently priced (zero without a bank model).
+    phase_bank_wait: Cycles,
 }
 
 impl SimTimer {
@@ -119,6 +122,7 @@ impl SimTimer {
             retry_deliveries: Vec::new(),
             phase_retries: 0,
             phase_drops: 0,
+            phase_bank_wait: Cycles::ZERO,
         }
     }
 
@@ -174,6 +178,13 @@ impl SimTimer {
             self.metas.clear();
             self.round_bounds.clear();
             let track_rounds = self.rec.is_full();
+            // When the machine models destination banks *and* the
+            // driver metered per-bank traffic, each pair's exchange
+            // goes out as one message per touched bank (tagged so the
+            // network can queue it at that bank's FIFO) instead of one
+            // aggregate message. Without both, the aggregate path
+            // below is untouched.
+            let split_banks = if self.cfg.net.banks.is_some() { matrix.banks() } else { 0 };
             let cpu = &mut self.cpu;
             let data_msgs = &mut self.data_msgs;
             let metas = &mut self.metas;
@@ -186,31 +197,22 @@ impl SimTimer {
                         ExchangeOrder::LatinSquare => (i + r) % p,
                         ExchangeOrder::DirectSweep => r,
                     };
-                    let traffic = *matrix.at(i, dst);
-                    if traffic.put_items > 0 {
-                        let marshal = sw.put_marshal * traffic.put_items as f64
-                            + sw.copy_per_word_send * traffic.put_words as f64;
-                        cpu[i] += Cycles::new(marshal);
-                        let bytes = sw.msg_header_bytes
-                            + sw.item_header_bytes * traffic.put_items
-                            + traffic.put_payload_bytes;
-                        data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::PutData));
-                        metas.push(MsgMeta {
-                            items: traffic.put_items,
-                            words: traffic.put_words,
-                            reply_payload_bytes: 0,
-                        });
-                    }
-                    if traffic.get_items > 0 {
-                        let marshal = sw.get_request * traffic.get_items as f64;
-                        cpu[i] += Cycles::new(marshal);
-                        let bytes = sw.msg_header_bytes + sw.item_header_bytes * traffic.get_items;
-                        data_msgs.push(Injection::new(i, dst, bytes, cpu[i], MsgKind::GetRequest));
-                        metas.push(MsgMeta {
-                            items: traffic.get_items,
-                            words: traffic.get_words,
-                            reply_payload_bytes: traffic.get_reply_payload_bytes,
-                        });
+                    if split_banks > 0 {
+                        for b in 0..split_banks {
+                            let traffic = *matrix.at_bank(i, dst, b);
+                            inject_pair(
+                                &sw,
+                                i,
+                                dst,
+                                traffic,
+                                Some(b as u32),
+                                cpu,
+                                data_msgs,
+                                metas,
+                            );
+                        }
+                    } else {
+                        inject_pair(&sw, i, dst, *matrix.at(i, dst), None, cpu, data_msgs, metas);
                     }
                 }
                 if track_rounds && data_msgs.len() > round_lo {
@@ -230,6 +232,9 @@ impl SimTimer {
             );
             self.phase_retries += r;
             self.phase_drops += d;
+            if self.cfg.net.banks.is_some() {
+                self.phase_bank_wait += self.deliveries.iter().map(|d| d.bank_wait).sum::<Cycles>();
+            }
 
             // --- Receiver-side processing in deterministic arrival order.
             for q in self.inbox.iter_mut() {
@@ -475,6 +480,58 @@ impl SimTimer {
     }
 }
 
+/// Marshal one traffic cell (a pair's whole exchange, or one bank's
+/// slice of it) into data-plane injections: a put-data message and/or
+/// a get-request message, each paying its marshal cost on the
+/// sender's CPU before departing. `bank` tags the injections for the
+/// network's destination-bank stage; `None` leaves the pre-bank wire
+/// format — and arithmetic — exactly as it was.
+#[allow(clippy::too_many_arguments)]
+fn inject_pair(
+    sw: &qsm_simnet::SoftwareConfig,
+    i: usize,
+    dst: usize,
+    traffic: PairTraffic,
+    bank: Option<u32>,
+    cpu: &mut [Cycles],
+    data_msgs: &mut Vec<Injection>,
+    metas: &mut Vec<MsgMeta>,
+) {
+    if traffic.put_items > 0 {
+        let marshal = sw.put_marshal * traffic.put_items as f64
+            + sw.copy_per_word_send * traffic.put_words as f64;
+        cpu[i] += Cycles::new(marshal);
+        let bytes = sw.msg_header_bytes
+            + sw.item_header_bytes * traffic.put_items
+            + traffic.put_payload_bytes;
+        let mut m = Injection::new(i, dst, bytes, cpu[i], MsgKind::PutData);
+        if let Some(b) = bank {
+            m = m.with_bank(b);
+        }
+        data_msgs.push(m);
+        metas.push(MsgMeta {
+            items: traffic.put_items,
+            words: traffic.put_words,
+            reply_payload_bytes: 0,
+        });
+    }
+    if traffic.get_items > 0 {
+        let marshal = sw.get_request * traffic.get_items as f64;
+        cpu[i] += Cycles::new(marshal);
+        let bytes = sw.msg_header_bytes + sw.item_header_bytes * traffic.get_items;
+        let mut m = Injection::new(i, dst, bytes, cpu[i], MsgKind::GetRequest);
+        if let Some(b) = bank {
+            m = m.with_bank(b);
+        }
+        data_msgs.push(m);
+        metas.push(MsgMeta {
+            items: traffic.get_items,
+            words: traffic.get_words,
+            reply_payload_bytes: traffic.get_reply_payload_bytes,
+        });
+    }
+}
+
 /// Transmit a data-plane batch through the delivery protocol: send it
 /// via the fault-injecting path, then resend lost messages with
 /// bounded exponential backoff — resend `k` of a message becomes ready
@@ -593,6 +650,7 @@ impl PhaseTimer for SimTimer {
     ) -> PhaseTiming {
         self.phase_retries = 0;
         self.phase_drops = 0;
+        self.phase_bank_wait = Cycles::ZERO;
         let local_finish: Vec<Cycles> = charged
             .iter()
             .zip(&self.phase_start)
@@ -619,6 +677,14 @@ impl PhaseTimer for SimTimer {
 
     fn fault_counts(&self) -> (u64, u64) {
         (self.phase_retries, self.phase_drops)
+    }
+
+    fn bank_model(&self) -> Option<qsm_simnet::BankModel> {
+        self.cfg.net.banks
+    }
+
+    fn bank_wait(&self) -> Cycles {
+        self.phase_bank_wait
     }
 }
 
@@ -961,6 +1027,109 @@ mod tests {
         assert!(data.spans.iter().any(|s| s.kind == SpanKind::RetryRound));
         assert_eq!(data.metrics.counter("retries"), retries);
         assert_eq!(data.metrics.counter("dropped_msgs"), drops);
+    }
+
+    /// `p = 4` matrix with every processor putting `words` words to
+    /// processor 0, all landing in bank `bank(i)` of 4 (aggregate and
+    /// per-bank layers metered together, as the driver does).
+    fn banked_puts_to_zero(bank: impl Fn(usize) -> usize, words: u64) -> CommMatrix {
+        let mut m = CommMatrix::new(4);
+        m.enable_banks(4);
+        for i in 0..4usize {
+            let c = m.at_mut(i, 0);
+            c.put_items = 1;
+            c.put_words = words;
+            c.put_payload_bytes = words * 4;
+            let c = m.at_bank_mut(i, 0, bank(i));
+            c.put_items = 1;
+            c.put_words = words;
+            c.put_payload_bytes = words * 4;
+        }
+        m
+    }
+
+    #[test]
+    fn bank_layer_without_bank_model_prices_identically() {
+        // A matrix that metered per-bank traffic must price exactly
+        // like one that didn't when the machine has no bank model:
+        // the aggregate injection path is shared, banks untouched.
+        let cfg = MachineConfig::paper_default(4);
+        let banked = banked_puts_to_zero(|i| i, 500);
+        let mut plain = CommMatrix::new(4);
+        for i in 0..4usize {
+            let c = plain.at_mut(i, 0);
+            c.put_items = 1;
+            c.put_words = 500;
+            c.put_payload_bytes = 2000;
+        }
+        let mut a = SimTimer::new(cfg);
+        let mut b = SimTimer::new(cfg);
+        assert_eq!(a.price(&[0; 4], &banked, &[]), b.price(&[0; 4], &plain, &[]));
+        assert_eq!(a.bank_wait(), Cycles::ZERO);
+        assert_eq!(a.bank_model(), None);
+    }
+
+    #[test]
+    fn conflicting_bank_traffic_queues_longer_than_spread() {
+        use qsm_simnet::BankModel;
+        // Service at 30 cycles/byte dwarfs the 3 cycles/byte wire
+        // gap, so arrivals into one bank outpace its drain.
+        let cfg = MachineConfig::paper_default(4).with_banks(BankModel {
+            banks_per_node: 4,
+            service_fixed: 0.0,
+            service_per_byte: 30.0,
+        });
+        let conflict = banked_puts_to_zero(|_| 0, 500);
+        let spread = banked_puts_to_zero(|i| i, 500);
+        let mut tc = SimTimer::new(cfg);
+        let mut ts = SimTimer::new(cfg);
+        let conflict_comm = tc.price(&[0; 4], &conflict, &[]).comm;
+        let spread_comm = ts.price(&[0; 4], &spread, &[]).comm;
+        assert!(
+            conflict_comm > spread_comm,
+            "single-bank comm {conflict_comm} !> spread comm {spread_comm}"
+        );
+        assert!(tc.bank_wait() > Cycles::ZERO);
+        // Distinct banks drain in parallel: nothing queues.
+        assert_eq!(ts.bank_wait(), Cycles::ZERO);
+        assert_eq!(tc.bank_model(), Some(cfg.net.banks.unwrap()));
+    }
+
+    #[test]
+    fn banked_gets_price_and_reply_untagged() {
+        use qsm_simnet::BankModel;
+        let cfg = MachineConfig::paper_default(4).with_banks(BankModel::per_message(2, 50_000.0));
+        let mut m = CommMatrix::new(4);
+        m.enable_banks(2);
+        for i in 1..4usize {
+            let c = m.at_mut(i, 0);
+            c.get_items = 50;
+            c.get_words = 50;
+            c.get_reply_payload_bytes = 200;
+            let c = m.at_bank_mut(i, 0, 0);
+            c.get_items = 50;
+            c.get_words = 50;
+            c.get_reply_payload_bytes = 200;
+        }
+        let mut t = SimTimer::new(cfg);
+        let timing = t.price(&[0; 4], &m, &[]);
+        assert!(timing.comm > Cycles::ZERO);
+        // Three get requests collide on bank 0 of node 0: the second
+        // and third each queue behind ~50k cycles of service. The
+        // replies come back unbanked, so all queuing is request-side.
+        assert!(t.bank_wait() > Cycles::new(50_000.0), "bank wait {}", t.bank_wait());
+    }
+
+    #[test]
+    fn bank_wait_resets_each_phase() {
+        use qsm_simnet::BankModel;
+        let cfg = MachineConfig::paper_default(4).with_banks(BankModel::per_message(4, 5_000.0));
+        let conflict = banked_puts_to_zero(|_| 0, 100);
+        let mut t = SimTimer::new(cfg);
+        t.price(&[0; 4], &conflict, &[]);
+        assert!(t.bank_wait() > Cycles::ZERO);
+        t.price(&[100; 4], &CommMatrix::new(4), &[]);
+        assert_eq!(t.bank_wait(), Cycles::ZERO);
     }
 
     #[test]

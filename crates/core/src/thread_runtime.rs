@@ -44,6 +44,11 @@ pub struct WallTimer {
     last_release: Instant,
     rec: Recorder,
     phase_idx: u64,
+    /// Bank model of the machine's reference configuration: reported
+    /// to the driver so per-bank traffic metering (observed bank-κ)
+    /// also runs on the native backend. Wall-clock timing itself is
+    /// never adjusted — real hardware queues for real.
+    banks: Option<qsm_simnet::BankModel>,
 }
 
 impl WallTimer {
@@ -51,7 +56,13 @@ impl WallTimer {
     /// the recorder captures at full level). Time zero is "now".
     pub fn with_recorder(rec: Recorder) -> Self {
         let now = Instant::now();
-        Self { run_start: now, last_release: now, rec, phase_idx: 0 }
+        Self { run_start: now, last_release: now, rec, phase_idx: 0, banks: None }
+    }
+
+    /// Report `banks` to the driver as this machine's bank model.
+    pub fn with_banks(mut self, banks: Option<qsm_simnet::BankModel>) -> Self {
+        self.banks = banks;
+        self
     }
 
     /// Nanoseconds from the run epoch to `t`, as a span timestamp.
@@ -114,6 +125,10 @@ impl PhaseTimer for WallTimer {
             compute: Cycles::new(compute),
             comm: Cycles::new(elapsed - compute),
         }
+    }
+
+    fn bank_model(&self) -> Option<qsm_simnet::BankModel> {
+        self.banks
     }
 }
 
@@ -211,7 +226,7 @@ impl Machine for ThreadMachine {
     }
 
     fn make_timer(&self, rec: Recorder) -> WallTimer {
-        WallTimer::with_recorder(rec)
+        WallTimer::with_recorder(rec).with_banks(self.model_cfg.net.banks)
     }
 
     fn make_report(&self, phases: &[PhaseRecord]) -> CostReport {
@@ -249,6 +264,20 @@ mod tests {
         let timing = t.price(&[], &CommMatrix::new(1), &[]);
         assert_eq!(timing.compute.get(), 0.0);
         assert_eq!(timing.comm, timing.elapsed);
+    }
+
+    #[test]
+    fn wall_timer_reports_model_bank_config() {
+        use qsm_simnet::BankModel;
+        let m = ThreadMachine::new(2).with_model_config(
+            MachineConfig::paper_default(2).with_banks(BankModel::per_message(4, 100.0)),
+        );
+        let t = m.make_timer(Recorder::disabled());
+        assert_eq!(t.bank_model().unwrap().banks_per_node, 4);
+        assert_eq!(t.bank_wait(), Cycles::ZERO);
+        // Without banks on the model config, the default stays off.
+        let t = ThreadMachine::new(2).make_timer(Recorder::disabled());
+        assert_eq!(t.bank_model(), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! ideal) — on four platforms.
 //!
 //! This crate provides:
-//! * [`machine`] — queue-parameter profiles of the four platforms
+//! * [`platform`] — queue-parameter profiles of the four platforms
 //!   (Sun E5000 natively and under BSPlib, an Ethernet NOW under
 //!   BSPlib, and a Cray T3E with `shmem`).
 //! * [`microbench`] — the generic microbenchmark loop: deterministic
@@ -24,14 +24,21 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod machine;
 pub mod microbench;
 pub mod native;
 pub mod pattern;
+pub mod platform;
 pub mod sim;
 
-pub use machine::BankMachine;
+/// Deprecated spelling of [`platform`], kept as a re-export so
+/// existing `qsm_membank::machine::…` paths keep compiling.
+#[deprecated(since = "0.1.0", note = "renamed to `platform`")]
+pub mod machine {
+    pub use crate::platform::*;
+}
+
 pub use microbench::{run_all, run_pattern, BankBackend, Sample};
 pub use native::{run_native, run_native_all, NativeBank, NativeResult};
 pub use pattern::Pattern;
+pub use platform::BankMachine;
 pub use sim::{simulate, simulate_all, PatternResult, SimBank};

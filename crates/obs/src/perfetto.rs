@@ -61,6 +61,7 @@ impl ObsData {
         push_meta(&mut out, "thread_name", PID_MACHINE, 0, "phases");
         push_meta(&mut out, "thread_name", PID_MACHINE, 1, "exchange rounds");
         push_meta(&mut out, "thread_name", PID_MACHINE, 2, "retry rounds");
+        push_meta(&mut out, "thread_name", PID_MACHINE, 3, "bank service");
         for p in 0..self.nprocs {
             push_meta(&mut out, "thread_name", PID_PROCS, p as u32, &format!("proc {p}"));
             push_meta(&mut out, "thread_name", PID_WIRE, p as u32, &format!("from proc {p}"));
@@ -77,6 +78,7 @@ impl ObsData {
                 SpanKind::RetryRound => {
                     (PID_MACHINE, 2, format!("phase {} retry wave {}", s.phase, s.lane))
                 }
+                SpanKind::BankService => (PID_MACHINE, 3, format!("phase {} bank wait", s.phase)),
                 SpanKind::Compute | SpanKind::CommBusy | SpanKind::BarrierWait => {
                     (PID_PROCS, s.lane, format!("{} p{}", s.kind.label(), s.phase))
                 }

@@ -30,6 +30,10 @@ pub enum SpanKind {
     /// protocol — resends of data messages lost to fault injection,
     /// from the earliest resend ready to the last delivery visible.
     RetryRound,
+    /// Machine track: aggregate destination-bank queuing of the
+    /// phase, `dur` equal to the summed bank waits of its deliveries
+    /// (emitted only when a bank model is enabled).
+    BankService,
 }
 
 impl SpanKind {
@@ -43,6 +47,7 @@ impl SpanKind {
             SpanKind::BarrierWait => "barrier",
             SpanKind::ExchangeRound => "round",
             SpanKind::RetryRound => "retry",
+            SpanKind::BankService => "bank",
         }
     }
 }

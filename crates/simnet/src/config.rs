@@ -40,6 +40,51 @@ pub enum ExchangeOrder {
     DirectSweep,
 }
 
+/// Destination-side memory-bank model (extension; the paper's
+/// simulator has no bank stage and answers Section 4 with a separate
+/// closed-loop queue simulator instead).
+///
+/// When installed on a [`NetConfig`], every message that names a
+/// destination bank ([`crate::Injection::with_bank`]) queues FIFO at
+/// that bank *after* the receive engine ingests it: the bank services
+/// one message at a time at `service_fixed + service_per_byte · b`
+/// cycles, so simultaneous traffic into one bank serializes while
+/// traffic spread across banks proceeds in parallel. Messages with no
+/// bank (control traffic: plans, barriers, `get` replies) bypass the
+/// stage untouched, and with `NetConfig::banks = None` the delivery
+/// arithmetic is bit-identical to the bank-free simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankModel {
+    /// Memory banks per node (each with its own FIFO service queue).
+    pub banks_per_node: usize,
+    /// Fixed service cycles per banked message.
+    pub service_fixed: f64,
+    /// Service cycles per wire byte of a banked message.
+    pub service_per_byte: f64,
+}
+
+impl BankModel {
+    /// A model with `banks` banks per node and a purely per-message
+    /// service time (the shape of the Section 4 microbenchmark, which
+    /// accesses single words).
+    pub fn per_message(banks: usize, service_fixed: f64) -> Self {
+        Self { banks_per_node: banks, service_fixed, service_per_byte: 0.0 }
+    }
+
+    /// Validate invariants (at least one bank; non-negative, finite
+    /// service costs).
+    pub fn validate(&self) {
+        assert!(self.banks_per_node >= 1, "bank model needs at least one bank per node");
+        assert!(self.service_fixed >= 0.0 && self.service_fixed.is_finite());
+        assert!(self.service_per_byte >= 0.0 && self.service_per_byte.is_finite());
+    }
+
+    /// Cycles a bank is occupied servicing one message of `bytes`.
+    pub fn service(&self, bytes: u64) -> Cycles {
+        Cycles::new(self.service_fixed + self.service_per_byte * bytes as f64)
+    }
+}
+
 /// Raw network hardware parameters (all cycles / cycles-per-byte).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
@@ -69,6 +114,10 @@ pub struct NetConfig {
     /// [`crate::Network::transmit_into_faulty`] (the bulk data
     /// exchange), never to plan or barrier traffic.
     pub faults: Option<FaultConfig>,
+    /// Optional destination-side memory-bank stage (extension; `None`
+    /// — the default — reproduces the paper's bank-free simulator
+    /// bit-exactly). See [`BankModel`].
+    pub banks: Option<BankModel>,
 }
 
 impl NetConfig {
@@ -83,6 +132,7 @@ impl NetConfig {
             latency: 1600.0,
             fabric_gap_per_byte: None,
             faults: None,
+            banks: None,
         }
     }
 
@@ -97,6 +147,9 @@ impl NetConfig {
         }
         if let Some(f) = &self.faults {
             f.validate();
+        }
+        if let Some(b) = &self.banks {
+            b.validate();
         }
     }
 
@@ -338,6 +391,14 @@ impl MachineConfig {
     /// exchange (extension; the paper's simulator is fault-free).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.net.faults = Some(faults);
+        self.net.validate();
+        self
+    }
+
+    /// Builder: enable the destination-side memory-bank stage
+    /// (extension; the paper's simulator has no bank model).
+    pub fn with_banks(mut self, banks: BankModel) -> Self {
+        self.net.banks = Some(banks);
         self.net.validate();
         self
     }

@@ -28,13 +28,19 @@
 //! ```text
 //! depart(m)  = max(ready(m), send_free(s)) + o_send + b·gap
 //! arrive(m)  = depart(m) + latency
-//! visible(m) = max(arrive(m), recv_free(d)) + o_recv + b·gap
+//! ingest(m)  = max(arrive(m), recv_free(d)) + o_recv + b·gap
+//! visible(m) = ingest(m)                                 (no banks)
+//!            = max(ingest(m), bank_free(d, k)) + service  (bank k)
 //! ```
 //!
 //! with `send_free`/`recv_free` advancing FIFO per node. This gives
 //! pipelining (many messages overlap their latencies) and batching
 //! (one overhead per message, however large) exactly the roles the
-//! QSM contract assigns to the compiler/runtime.
+//! QSM contract assigns to the compiler/runtime. The final bank line
+//! is the opt-in [`config::BankModel`] stage (Section 4's
+//! destination-side memory-bank contention, folded into the one data
+//! plane); without it — or for messages that name no bank — the
+//! arithmetic is bit-identical to the paper's bank-free simulator.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,7 +56,9 @@ pub mod time;
 pub mod trace;
 
 pub use barrier::{BarrierModel, DisseminationBarrier};
-pub use config::{BarrierKind, CpuConfig, ExchangeOrder, MachineConfig, NetConfig, SoftwareConfig};
+pub use config::{
+    BankModel, BarrierKind, CpuConfig, ExchangeOrder, MachineConfig, NetConfig, SoftwareConfig,
+};
 pub use fault::{DegradeWindow, FaultConfig, StallConfig};
 pub use message::{Injection, MsgKind};
 pub use network::{Delivery, Network};

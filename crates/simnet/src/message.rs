@@ -70,12 +70,25 @@ pub struct Injection {
     pub ready: Cycles,
     /// Payload classification.
     pub kind: MsgKind,
+    /// Destination memory bank, when the network's opt-in
+    /// [`crate::config::BankModel`] stage should queue this message
+    /// at a bank after ingestion. `None` (control traffic) bypasses
+    /// the bank stage even when the model is installed.
+    pub bank: Option<u32>,
 }
 
 impl Injection {
-    /// Convenience constructor.
+    /// Convenience constructor (no destination bank).
     pub fn new(src: usize, dst: usize, bytes: u64, ready: Cycles, kind: MsgKind) -> Self {
-        Self { src, dst, bytes, ready, kind }
+        Self { src, dst, bytes, ready, kind, bank: None }
+    }
+
+    /// Builder: route this message through destination bank `bank`
+    /// (meaningful only when the network config installs a
+    /// [`crate::config::BankModel`]).
+    pub fn with_bank(mut self, bank: u32) -> Self {
+        self.bank = Some(bank);
+        self
     }
 }
 
@@ -100,5 +113,7 @@ mod tests {
         assert_eq!(m.bytes, 64);
         assert_eq!(m.ready.get(), 10.0);
         assert_eq!(m.kind, MsgKind::PutData);
+        assert_eq!(m.bank, None);
+        assert_eq!(m.with_bank(3).bank, Some(3));
     }
 }

@@ -23,8 +23,15 @@ pub struct Delivery {
     /// When the first byte reached the receiver (depart + latency).
     pub arrive: Cycles,
     /// When the receiving node's software can see the payload
-    /// (after queuing for the receive engine and paying `o_recv`).
+    /// (after queuing for the receive engine and paying `o_recv`,
+    /// plus — for bank-tagged messages under an installed
+    /// [`crate::config::BankModel`] — queuing and service at the
+    /// destination bank).
     pub visible: Cycles,
+    /// Cycles this message spent queued behind earlier traffic at its
+    /// destination bank (zero without a bank model, for untagged
+    /// messages, and whenever the bank was idle at ingestion).
+    pub bank_wait: Cycles,
 }
 
 /// A `p`-node network with persistent per-node engine timelines, so
@@ -37,6 +44,10 @@ pub struct Network {
     send_free: Vec<Cycles>,
     recv_free: Vec<Cycles>,
     fabric_free: Cycles,
+    /// Per-(node, bank) service timelines of the opt-in bank stage,
+    /// `p × banks_per_node` dense; empty when no bank model is
+    /// configured.
+    bank_free: Vec<Cycles>,
     stats: NetStats,
     trace: Option<Trace>,
     // Pooled per-transmit scratch (index queues), reused so the hot
@@ -57,12 +68,14 @@ impl Network {
     pub fn new(p: usize, cfg: NetConfig) -> Self {
         assert!(p >= 1);
         cfg.validate();
+        let bank_slots = cfg.banks.map_or(0, |b| p * b.banks_per_node);
         Self {
             p,
             cfg,
             send_free: vec![Cycles::ZERO; p],
             recv_free: vec![Cycles::ZERO; p],
             fabric_free: Cycles::ZERO,
+            bank_free: vec![Cycles::ZERO; bank_slots],
             stats: NetStats::default(),
             trace: None,
             by_sender: vec![Vec::new(); p],
@@ -89,6 +102,7 @@ impl Network {
         self.send_free.fill(Cycles::ZERO);
         self.recv_free.fill(Cycles::ZERO);
         self.fabric_free = Cycles::ZERO;
+        self.bank_free.fill(Cycles::ZERO);
         self.stats.clear();
         self.fault_seq = 0;
     }
@@ -238,7 +252,12 @@ impl Network {
         deliveries.clear();
         deliveries.resize(
             n,
-            Delivery { depart: Cycles::ZERO, arrive: Cycles::ZERO, visible: Cycles::ZERO },
+            Delivery {
+                depart: Cycles::ZERO,
+                arrive: Cycles::ZERO,
+                visible: Cycles::ZERO,
+                bank_wait: Cycles::ZERO,
+            },
         );
 
         // Pass 1: per-sender departures.
@@ -248,6 +267,13 @@ impl Network {
         for (i, m) in msgs.iter().enumerate() {
             assert!(m.src < self.p, "bad src {} (p = {})", m.src, self.p);
             assert!(m.dst < self.p, "bad dst {} (p = {})", m.dst, self.p);
+            if let (Some(bk), Some(b)) = (&self.cfg.banks, m.bank) {
+                assert!(
+                    (b as usize) < bk.banks_per_node,
+                    "bad bank {b} (banks per node = {})",
+                    bk.banks_per_node
+                );
+            }
             self.by_sender[m.src].push(i);
         }
         for (src, queue) in self.by_sender.iter_mut().enumerate() {
@@ -327,8 +353,21 @@ impl Network {
                 let m = &msgs[i];
                 let busy = self.cfg.recv_busy(m.bytes);
                 let start = deliveries[i].arrive.max(free);
-                let visible = start + busy;
+                let mut visible = start + busy;
                 free = visible;
+                // Opt-in bank stage: after the receive engine hands
+                // the message off, it queues FIFO at its destination
+                // bank. The engine itself is released at ingestion
+                // (`free` above), so banks drain independently of the
+                // NIC — only same-bank traffic serializes here.
+                if let (Some(bk), Some(b)) = (&self.cfg.banks, m.bank) {
+                    let slot = &mut self.bank_free[dst * bk.banks_per_node + b as usize];
+                    let svc_start = visible.max(*slot);
+                    let done = svc_start + bk.service(m.bytes);
+                    *slot = done;
+                    deliveries[i].bank_wait = svc_start - visible;
+                    visible = done;
+                }
                 deliveries[i].visible = visible;
                 self.stats.record(m.kind, m.bytes, self.cfg.send_busy(m.bytes), busy);
                 if let Some(tr) = self.trace.as_mut() {
@@ -659,6 +698,102 @@ mod tests {
         let mut d2 = Vec::new();
         n.transmit_into_faulty(&[inj(0, 1, 0, 0.0)], &mut d2);
         assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn bank_model_off_ignores_bank_tags() {
+        // Tagged messages on a bank-free network: exact original
+        // arithmetic, zero reported waits.
+        let msgs: Vec<_> =
+            (0..30).map(|i| inj(i % 4, (i * 3 + 1) % 4, (i as u64 * 17) % 300, 0.0)).collect();
+        let tagged: Vec<_> = msgs.iter().map(|m| m.with_bank(0)).collect();
+        let mut a = net(4);
+        let da = a.transmit(&msgs);
+        let mut b = net(4);
+        let db = b.transmit(&tagged);
+        assert_eq!(da, db);
+        assert!(db.iter().all(|d| d.bank_wait == Cycles::ZERO));
+    }
+
+    #[test]
+    fn untagged_messages_bypass_an_installed_bank_model() {
+        let bank = crate::config::BankModel::per_message(4, 5_000.0);
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut with = Network::new(4, cfg);
+        let mut without = net(4);
+        let msgs: Vec<_> = (0..30).map(|i| inj(i % 4, (i * 3 + 1) % 4, 64, 0.0)).collect();
+        assert_eq!(with.transmit(&msgs), without.transmit(&msgs));
+    }
+
+    #[test]
+    fn same_bank_arrivals_serialize() {
+        let bank = crate::config::BankModel::per_message(2, 5_000.0);
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut n = Network::new(3, cfg);
+        let d = n.transmit(&[inj(0, 2, 0, 0.0).with_bank(1), inj(1, 2, 0, 0.0).with_bank(1)]);
+        // Both arrive at 2000; ingestion serializes them at 2400 and
+        // 2800; the bank then services 5000 cycles each, so the
+        // second queues behind the first: 2400+5000 = 7400, then
+        // max(2800, 7400) + 5000 = 12400 with a 4600-cycle wait.
+        let mut vis: Vec<f64> = d.iter().map(|x| x.visible.get()).collect();
+        vis.sort_by(f64::total_cmp);
+        assert_eq!(vis, vec![7400.0, 12_400.0]);
+        let mut waits: Vec<f64> = d.iter().map(|x| x.bank_wait.get()).collect();
+        waits.sort_by(f64::total_cmp);
+        assert_eq!(waits, vec![0.0, 4600.0]);
+    }
+
+    #[test]
+    fn distinct_banks_service_in_parallel() {
+        let bank = crate::config::BankModel::per_message(2, 5_000.0);
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut n = Network::new(3, cfg);
+        let d = n.transmit(&[inj(0, 2, 0, 0.0).with_bank(0), inj(1, 2, 0, 0.0).with_bank(1)]);
+        // Ingestion still serializes (one receive engine), but the
+        // banks overlap their service: 2400+5000 and 2800+5000.
+        let mut vis: Vec<f64> = d.iter().map(|x| x.visible.get()).collect();
+        vis.sort_by(f64::total_cmp);
+        assert_eq!(vis, vec![7400.0, 7800.0]);
+        assert!(d.iter().all(|x| x.bank_wait == Cycles::ZERO));
+    }
+
+    #[test]
+    fn bank_timelines_persist_and_reset() {
+        let bank = crate::config::BankModel::per_message(1, 10_000.0);
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut n = Network::new(2, cfg);
+        let first = n.transmit(&[inj(0, 1, 0, 0.0).with_bank(0)]);
+        // Second batch queues behind the first batch's service slot.
+        let second = n.transmit(&[inj(0, 1, 0, 0.0).with_bank(0)]);
+        assert!(second[0].bank_wait > Cycles::ZERO);
+        n.reset();
+        let replay = n.transmit(&[inj(0, 1, 0, 0.0).with_bank(0)]);
+        assert_eq!(replay, first);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_bank_rejected() {
+        let bank = crate::config::BankModel::per_message(2, 100.0);
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut n = Network::new(2, cfg);
+        n.transmit(&[inj(0, 1, 0, 0.0).with_bank(2)]);
+    }
+
+    #[test]
+    fn bank_service_scales_with_bytes() {
+        let bank = crate::config::BankModel {
+            banks_per_node: 1,
+            service_fixed: 100.0,
+            service_per_byte: 2.0,
+        };
+        let cfg = NetConfig { banks: Some(bank), ..NetConfig::paper_default() };
+        let mut n = Network::new(2, cfg);
+        let d = n.transmit(&[inj(0, 1, 50, 0.0).with_bank(0)]);
+        // depart 400+150, arrive +1600, ingest +400+150, then the
+        // bank: 100 + 2*50 = 200 cycles of service.
+        assert_eq!(d[0].visible.get(), 2700.0 + 200.0);
+        assert_eq!(d[0].bank_wait, Cycles::ZERO);
     }
 
     #[test]

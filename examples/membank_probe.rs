@@ -9,7 +9,7 @@
 //! layout (Random) loses only modestly to a hand-placed ideal
 //! (NoConflict), while an unmanaged hot spot (Conflict) collapses.
 
-use qsm::membank::{machine, run_native_all, simulate_all, Pattern};
+use qsm::membank::{platform, run_native_all, simulate_all, Pattern};
 
 fn main() {
     println!("simulated platforms (closed-loop bank queues, avg ns/access):\n");
@@ -17,7 +17,7 @@ fn main() {
         "{:<28} {:>12} {:>12} {:>12} {:>18}",
         "platform", "NoConflict", "Random", "Conflict", "Conflict/NoConf"
     );
-    for m in machine::figure7_machines() {
+    for m in platform::figure7_machines() {
         let results = simulate_all(&m, 20_000, 0x1998);
         let by = |p: Pattern| results.iter().find(|r| r.pattern == p).unwrap().avg_ns;
         println!(

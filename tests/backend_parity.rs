@@ -72,9 +72,9 @@ fn membank_backends_share_the_target_sequences() {
     // are driven by the same generic loop, so a probe of the drawn
     // targets must match what `simulate` consumed — the sim results
     // stay bit-identical through the shared path.
-    use qsm::membank::{machine, simulate, BankBackend, SimBank};
+    use qsm::membank::{platform, simulate, BankBackend, SimBank};
 
-    let m = machine::smp_native();
+    let m = platform::smp_native();
     let direct = simulate(&m, Pattern::Random, 500, 9);
     let again = simulate(&m, Pattern::Random, 500, 9);
     assert_eq!(direct, again, "shared drawing must stay deterministic");
