@@ -20,6 +20,13 @@ pub const SETUP_PHASES: usize = 2;
 /// synchronization).
 pub const PAPER_PHASES: usize = 1;
 
+/// Elements per streamed chunk of the local passes (64 KiB of u64):
+/// the accumulate and offset loops touch each chunk while it is still
+/// cache-resident instead of making full-block passes. Purely a host
+/// locality choice — outputs, charges, and message patterns are
+/// unchanged.
+const CHUNK: usize = 8192;
+
 /// The QSM program: returns this processor's final local block.
 fn program(ctx: &mut Ctx, input: &[u64]) -> Vec<u64> {
     let n = input.len();
@@ -34,17 +41,26 @@ fn program(ctx: &mut Ctx, input: &[u64]) -> Vec<u64> {
     ctx.local_write(&a, r.start, &input[r.clone()]);
     ctx.sync();
 
-    // Step 1+2 (measured): local prefix sums, broadcast block total.
-    let mut local = ctx.local_vec(&a);
+    // Step 1+2 (measured): local prefix sums streamed in cache-sized
+    // chunks (read, accumulate, and write back while the chunk is
+    // hot), then broadcast the block total.
+    let mut local = Vec::with_capacity(r.len());
     let mut acc = 0u64;
-    for v in local.iter_mut() {
-        acc += *v;
-        *v = acc;
+    let mut pos = r.start;
+    while pos < r.end {
+        let len = CHUNK.min(r.end - pos);
+        let mut chunk = ctx.local_read(&a, pos, len);
+        for v in chunk.iter_mut() {
+            acc += *v;
+            *v = acc;
+        }
+        ctx.local_write(&a, pos, &chunk);
+        local.extend_from_slice(&chunk);
+        pos += len;
     }
     // Load + add + store + loop ≈ 4 machine operations per element on
     // the Table 2 node (memory-bound streaming loop).
     ctx.charge(4 * local.len() as u64);
-    ctx.local_write(&a, r.start, &local);
     for j in 0..p {
         if j != me {
             ctx.put(&sums, j * p + me, &[acc]);
@@ -53,16 +69,22 @@ fn program(ctx: &mut Ctx, input: &[u64]) -> Vec<u64> {
     ctx.local_write(&sums, me * p + me, &[acc]);
     ctx.sync();
 
-    // Step 3 (measured): add the offset from preceding processors.
+    // Step 3 (measured): add the offset from preceding processors,
+    // again chunk-at-a-time so each chunk is written back while hot.
     let row = ctx.local_vec(&sums);
     debug_assert_eq!(row.len(), p);
     let offset: u64 = row[..me].iter().sum();
     ctx.charge(p as u64);
-    for v in local.iter_mut() {
-        *v += offset;
+    let mut idx = 0;
+    while idx < local.len() {
+        let len = CHUNK.min(local.len() - idx);
+        for v in local[idx..idx + len].iter_mut() {
+            *v += offset;
+        }
+        ctx.local_write(&a, r.start + idx, &local[idx..idx + len]);
+        idx += len;
     }
     ctx.charge(3 * local.len() as u64);
-    ctx.local_write(&a, r.start, &local);
     ctx.sync();
 
     local

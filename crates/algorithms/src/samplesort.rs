@@ -98,27 +98,40 @@ fn program(ctx: &mut Ctx, input: &[u32], c: f64) -> ProcOutcome {
     let pivots: Vec<u32> = (1..p).map(|k| all_samples[k * spp]).collect();
 
     // Assign each local element to a bucket (elements equal to a
-    // pivot all land in the same bucket, keeping the output sorted).
+    // pivot all land in the same bucket, keeping the output sorted):
+    // one binary search per element, ids saved for the scatter below
+    // so no element is searched twice.
     let bucket_of = |v: u32| pivots.partition_point(|&pv| pv < v);
-    let mut bucketed: Vec<Vec<u32>> = vec![Vec::new(); p];
-    for &v in &local {
-        bucketed[bucket_of(v)].push(v);
+    let ids: Vec<u32> = local.iter().map(|&v| bucket_of(v) as u32).collect();
+    let mut bucket_len = vec![0usize; p];
+    for &b in &ids {
+        bucket_len[b as usize] += 1;
     }
     ctx.charge((3.0 * local.len() as f64 * log2n(p)) as u64); // binary search per element
 
-    // Stage: bucket runs contiguous within my block of `staged`.
-    let mut flat = Vec::with_capacity(local.len());
+    // Stage: bucket runs contiguous within my block of `staged`,
+    // built by a single cursor scatter into one flat buffer (source
+    // order within each bucket is preserved, exactly as the old
+    // per-bucket push produced).
     let mut run_start = Vec::with_capacity(p);
-    for b in &bucketed {
-        run_start.push(my_range.start + flat.len());
-        flat.extend_from_slice(b);
+    let mut cursor = Vec::with_capacity(p);
+    let mut at = 0usize;
+    for &len in &bucket_len {
+        run_start.push(my_range.start + at);
+        cursor.push(at);
+        at += len;
+    }
+    let mut flat = vec![0u32; local.len()];
+    for (&v, &b) in local.iter().zip(&ids) {
+        flat[cursor[b as usize]] = v;
+        cursor[b as usize] += 1;
     }
     ctx.local_write(&staged, my_range.start, &flat);
     ctx.charge(2 * local.len() as u64);
 
     // Tell bucket owner i where my contribution lives.
     for i in 0..p {
-        let entry = [bucketed[i].len() as u64, run_start[i] as u64];
+        let entry = [bucket_len[i] as u64, run_start[i] as u64];
         let slot = i * 2 * p + 2 * me;
         if i == me {
             ctx.local_write(&counts, slot, &entry);

@@ -1,35 +1,39 @@
 //! Tracked host-performance baseline for the harness itself.
 //!
-//! Times fixed simulated workloads (fixed n, p, seeds — so the work
-//! per run is identical across commits) plus one fast-mode pass of
-//! the whole figure suite, and writes the measurements to
-//! `BENCH_PR1.json` in the current directory:
+//! Times fixed workloads (fixed n, p, seeds — so the work per run is
+//! identical across commits) on both execution backends, plus one
+//! fast-mode pass of the whole figure suite, and writes the
+//! measurements to `BENCH_PR6.json` in the current directory:
 //!
 //! ```text
 //! cargo run -p qsm-bench --bin perf_baseline --release
 //! ```
 //!
-//! To record speedups against an earlier run, point
-//! `QSM_PERF_BASELINE` at that run's JSON; each workload then gains
-//! `baseline_ms` and `speedup` fields.
+//! The simulated workloads keep the exact keys of the original
+//! `BENCH_PR1.json` baseline; when that file (or the file named by
+//! `QSM_PERF_BASELINE`) is readable, each matching workload gains
+//! `baseline_ms` and `speedup` fields. The `*_threads_*` workloads
+//! time the SPMD threads engine — persistent worker pool, lock-free
+//! exchange — including one large-n point (`prefix` at n=10M, or 1M
+//! under `QSM_FAST=1`) at heavy oversubscription (p=64).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use qsm_algorithms::{gen, listrank, prefix, samplesort};
 use qsm_bench::RunCfg;
-use qsm_core::{Layout, SimMachine};
+use qsm_core::{Layout, Machine, SimMachine, ThreadMachine};
 use qsm_simnet::MachineConfig;
 
 const P: usize = 16;
+const P_BIG: usize = 64;
 const SEED: u64 = 0x51EE_D001;
-const REPS: usize = 5;
 
-/// Median wall-clock milliseconds over [`REPS`] runs (after one
-/// warmup run).
-fn time_median(mut f: impl FnMut()) -> f64 {
+/// Median wall-clock milliseconds over `reps` runs (after one warmup
+/// run).
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
     f();
-    let mut samples: Vec<f64> = (0..REPS)
+    let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t = Instant::now();
             f();
@@ -41,13 +45,14 @@ fn time_median(mut f: impl FnMut()) -> f64 {
 }
 
 /// Driver/exchange microbenchmark: many phases of dense small-block
-/// traffic at p=16, so nearly all host time is spent in
-/// `process_sync` + `simulate_exchange` rather than in user compute.
-fn driver_phases() {
+/// traffic, so nearly all host time is spent in the sync/exchange
+/// machinery rather than in user compute. On the sim backend that is
+/// `process_sync` + `simulate_exchange`; on the threads backend it is
+/// the barrier-bracketed SPMD exchange.
+fn driver_phases<M: Machine>(machine: &M) {
     const PHASES: usize = 32;
     const BLOCK: usize = 64;
-    let m = SimMachine::new(MachineConfig::paper_default(P)).with_seed(SEED);
-    m.run(|ctx| {
+    machine.run(|ctx| {
         let p = ctx.nprocs();
         let me = ctx.proc_id();
         let src = ctx.register::<u32>("src", BLOCK * p, Layout::Block);
@@ -99,57 +104,114 @@ fn extract_ms(json: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
-    let baseline =
-        std::env::var("QSM_PERF_BASELINE").ok().and_then(|path| std::fs::read_to_string(path).ok());
+    let fast = std::env::var("QSM_FAST").map(|v| v != "0").unwrap_or(false);
+    // More reps tighten the median on noisy shared hosts;
+    // QSM_PERF_REPS overrides the defaults (5 full, 2 fast).
+    let reps = std::env::var("QSM_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 2 } else { 5 });
+    // Comparing a QSM_FAST smoke run against a full baseline would be
+    // apples to oranges; only full runs pick one up.
+    let baseline = if fast {
+        None
+    } else {
+        std::env::var("QSM_PERF_BASELINE")
+            .ok()
+            .and_then(|path| std::fs::read_to_string(path).ok())
+            .or_else(|| std::fs::read_to_string("BENCH_PR1.json").ok())
+    };
 
     let n_prefix = 1usize << 20;
     let n_sort = 1usize << 16;
     let n_list = 1usize << 14;
+    let n_big = if fast { 1usize << 20 } else { 10_000_000 };
 
     let prefix_input = gen::random_u64s(n_prefix, SEED);
     let sort_input = gen::random_u32s(n_sort, SEED);
     let (succ, pred, _head) = gen::random_list(n_list, SEED);
+    let big_input = gen::random_u64s(n_big, SEED);
 
     let cfg = MachineConfig::paper_default(P);
+    let threads = ThreadMachine::new(P).with_seed(SEED);
+    let threads_big = ThreadMachine::new(P_BIG).with_seed(SEED);
+    let spawned_before = qsm_core::pool::spawned_workers();
     let workloads: Vec<(&str, f64)> = vec![
         (
             "prefix_p16_n1m_ms",
-            time_median(|| {
+            time_median(reps, || {
                 let m = SimMachine::new(cfg).with_seed(SEED);
                 std::hint::black_box(prefix::run_sim(&m, &prefix_input));
             }),
         ),
         (
             "samplesort_p16_n64k_ms",
-            time_median(|| {
+            time_median(reps, || {
                 let m = SimMachine::new(cfg).with_seed(SEED);
                 std::hint::black_box(samplesort::run_sim(&m, &sort_input));
             }),
         ),
         (
             "listrank_p16_n16k_ms",
-            time_median(|| {
+            time_median(reps, || {
                 let m = SimMachine::new(cfg).with_seed(SEED);
                 std::hint::black_box(listrank::run_sim(&m, &succ, &pred));
             }),
         ),
-        ("driver_phases_p16_ms", time_median(driver_phases)),
-        ("figure_suite_fast_ms", {
-            let t = Instant::now();
-            figure_suite_fast();
-            t.elapsed().as_secs_f64() * 1e3
-        }),
+        (
+            "driver_phases_p16_ms",
+            time_median(reps, || {
+                driver_phases(&SimMachine::new(cfg).with_seed(SEED));
+            }),
+        ),
+        (
+            "prefix_threads_p16_n1m_ms",
+            time_median(reps, || {
+                std::hint::black_box(prefix::run_on(&threads, &prefix_input));
+            }),
+        ),
+        (
+            "samplesort_threads_p16_n64k_ms",
+            time_median(reps, || {
+                std::hint::black_box(samplesort::run_on(&threads, &sort_input));
+            }),
+        ),
+        (
+            "listrank_threads_p16_n16k_ms",
+            time_median(reps, || {
+                std::hint::black_box(listrank::run_on(&threads, &succ, &pred));
+            }),
+        ),
+        (
+            "driver_phases_threads_p16_ms",
+            time_median(reps, || {
+                driver_phases(&threads);
+            }),
+        ),
+        (
+            "prefix_threads_p64_n10m_ms",
+            time_median(reps, || {
+                std::hint::black_box(prefix::run_on(&threads_big, &big_input));
+            }),
+        ),
+        ("figure_suite_fast_ms", time_median(reps.min(3), figure_suite_fast)),
     ];
+    let pool_spawned = qsm_core::pool::spawned_workers() - spawned_before;
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = qsm_core::pool::host_cores();
     let jobs = std::env::var("QSM_JOBS").unwrap_or_else(|_| "unset".into());
+    let pinning = std::env::var("QSM_PIN").map(|v| v != "0").unwrap_or(false);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"qsm-perf-baseline-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"qsm-perf-baseline-v2\",");
     let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"backend\": \"sim+threads\",");
+    let _ = writeln!(json, "  \"pinning\": {pinning},");
+    let _ = writeln!(json, "  \"pool_threads_spawned\": {pool_spawned},");
     let _ = writeln!(json, "  \"qsm_jobs\": \"{jobs}\",");
-    let _ = writeln!(json, "  \"reps_per_workload\": {REPS},");
+    let _ = writeln!(json, "  \"fast\": {fast},");
+    let _ = writeln!(json, "  \"reps_per_workload\": {reps},");
     json.push_str("  \"workloads\": {\n");
     for (i, (key, ms)) in workloads.iter().enumerate() {
         let comma = if i + 1 == workloads.len() { "" } else { "," };
@@ -167,12 +229,12 @@ fn main() {
                 let _ = writeln!(json, "    \"{key}\": {ms:.2}{comma}");
             }
         }
-        println!("{key:<28} {ms:>10.2} ms");
+        println!("{key:<32} {ms:>10.2} ms");
     }
     json.push_str("  }\n}\n");
 
-    match std::fs::write("BENCH_PR1.json", &json) {
-        Ok(()) => println!("\n[written to BENCH_PR1.json]"),
-        Err(e) => eprintln!("warning: cannot write BENCH_PR1.json: {e}"),
+    match std::fs::write("BENCH_PR6.json", &json) {
+        Ok(()) => println!("\n[written to BENCH_PR6.json]"),
+        Err(e) => eprintln!("warning: cannot write BENCH_PR6.json: {e}"),
     }
 }

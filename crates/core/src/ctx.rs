@@ -3,9 +3,11 @@
 //! A [`Ctx`] is what a QSM program sees: its processor id, typed
 //! shared-array registration, `put`/`get` enqueueing, a local window
 //! into block-distributed arrays, explicit local-operation charging,
-//! and `sync()`. One `Ctx` lives on each worker thread; all
-//! communication with the machine's driver travels over channels, so
-//! the implementation contains no locks and no `unsafe`.
+//! and `sync()`. One `Ctx` lives on each worker thread. On the
+//! simulated backend all communication with the machine's driver
+//! travels over channels, so that path contains no locks and no
+//! `unsafe`; the threads backend instead rendezvouses through the
+//! lock-free SPMD exchange area in `crate::spmd`.
 //!
 //! ### Bulk-synchrony enforcement
 //!
@@ -23,8 +25,17 @@
 //! decides what constitutes one (typically: one loop iteration per
 //! element). Host-side work done to *implement* the simulation (e.g.
 //! copying a local window out and back) costs nothing unless charged.
+//!
+//! ### The allocation-free hot path
+//!
+//! Steady-state phases allocate nothing on the worker side: put
+//! payload buffers come from a per-processor raw-word pool (refilled
+//! by redeemed get results and the driver's hand-backs), the op and
+//! registration containers round-trip to the driver and come back
+//! drained, and get results live in a dense ticket-indexed
+//! `TicketTable` instead of a hash map.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
 
@@ -38,32 +49,106 @@ use crate::ops::{GetOp, GetTicket, PutOp, QueuedOps};
 use crate::shmem::{ArrayInfo, LocalStore, Registration, SharedArray};
 use crate::word::Word;
 
+/// Upper bound on pooled raw-word buffers kept per processor, so a
+/// burst of tiny ops cannot pin unbounded memory.
+const RAW_POOL_CAP: usize = 4096;
+
+/// One issued get's lifecycle in the [`TicketTable`].
+#[derive(Default)]
+enum TicketSlot {
+    /// Issued; the fulfilling `sync()` has not run yet.
+    #[default]
+    Pending,
+    /// Fulfilled: raw result words await [`Ctx::take`].
+    Ready(Vec<u64>),
+    /// Redeemed; kept only until the front of the table compacts past
+    /// it (ids are dense and issued in order).
+    Taken,
+}
+
+/// Dense ticket-indexed get-result table.
+///
+/// Ticket ids are assigned sequentially, so results live in a
+/// `VecDeque` indexed by `ticket - base` instead of a `HashMap`;
+/// redeemed front entries are compacted away, keeping the table as
+/// short as the window of outstanding tickets.
+#[derive(Default)]
+pub(crate) struct TicketTable {
+    base: u64,
+    slots: VecDeque<TicketSlot>,
+}
+
+impl TicketTable {
+    /// Record the issue of ticket `id` (ids must arrive in order).
+    fn issue(&mut self, id: u64, slot: TicketSlot) {
+        debug_assert_eq!(id, self.base + self.slots.len() as u64);
+        self.slots.push_back(slot);
+    }
+
+    /// Deliver the raw result for `id`.
+    pub(crate) fn fulfill(&mut self, id: u64, data: Vec<u64>) {
+        let idx = (id - self.base) as usize;
+        self.slots[idx] = TicketSlot::Ready(data);
+    }
+
+    /// Redeem `id`, compacting redeemed entries off the front.
+    fn take(&mut self, id: u64) -> Vec<u64> {
+        let idx = id
+            .checked_sub(self.base)
+            .map(|d| d as usize)
+            .filter(|&d| d < self.slots.len())
+            .expect("get result missing (ticket already taken?)");
+        let slot = std::mem::replace(&mut self.slots[idx], TicketSlot::Taken);
+        let TicketSlot::Ready(data) = slot else {
+            panic!("get result missing (ticket already taken?)");
+        };
+        while matches!(self.slots.front(), Some(TicketSlot::Taken)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        data
+    }
+}
+
+/// How a [`Ctx`] reaches the rest of the machine at `sync()`.
+pub(crate) enum Runtime {
+    /// Channel rendezvous with a dedicated driver thread (the
+    /// simulated backend).
+    Channel {
+        tx: Sender<WorkerMsg>,
+        rx: Receiver<DriverReply>,
+        /// Drained result container handed back by the driver,
+        /// shipped with the next payload so replies never allocate.
+        spare_results: Vec<(u64, Vec<u64>)>,
+    },
+    /// Lock-free SPMD rendezvous through a shared exchange area (the
+    /// threads backend; see `crate::spmd`).
+    Spmd(crate::spmd::SpmdLink),
+}
+
 /// The per-processor execution context handed to QSM programs.
 pub struct Ctx {
-    proc: usize,
-    nprocs: usize,
-    phase: u64,
-    charged: u64,
-    next_array_id: u32,
+    pub(crate) proc: usize,
+    pub(crate) nprocs: usize,
+    pub(crate) phase: u64,
+    pub(crate) charged: u64,
+    pub(crate) next_array_id: u32,
     next_ticket: u64,
-    store: LocalStore,
-    queued: QueuedOps,
-    pending_regs: Vec<Registration>,
-    pending_unregs: Vec<ArrayId>,
-    results: HashMap<u64, Vec<u64>>,
+    pub(crate) store: LocalStore,
+    pub(crate) queued: QueuedOps,
+    pub(crate) pending_regs: Vec<Registration>,
+    pub(crate) pending_unregs: Vec<ArrayId>,
+    pub(crate) tickets: TicketTable,
+    /// Recycled raw-word buffers: redeemed get results and drained
+    /// put payloads feed later puts, so steady-state phases allocate
+    /// nothing here.
+    pub(crate) raw_pool: Vec<Vec<u64>>,
     rng: SmallRng,
-    tx: Sender<WorkerMsg>,
-    rx: Receiver<DriverReply>,
+    pub(crate) runtime: Runtime,
 }
 
 impl Ctx {
-    pub(crate) fn new(
-        proc: usize,
-        nprocs: usize,
-        seed: u64,
-        tx: Sender<WorkerMsg>,
-        rx: Receiver<DriverReply>,
-    ) -> Self {
+    fn with_runtime(proc: usize, nprocs: usize, seed: u64, runtime: Runtime) -> Self {
         Self {
             proc,
             nprocs,
@@ -75,11 +160,37 @@ impl Ctx {
             queued: QueuedOps::default(),
             pending_regs: Vec::new(),
             pending_unregs: Vec::new(),
-            results: HashMap::new(),
+            tickets: TicketTable::default(),
+            raw_pool: Vec::new(),
             rng: SmallRng::seed_from_u64(seed ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            tx,
-            rx,
+            runtime,
         }
+    }
+
+    /// A context on the channel path (driver-thread rendezvous).
+    pub(crate) fn new(
+        proc: usize,
+        nprocs: usize,
+        seed: u64,
+        tx: Sender<WorkerMsg>,
+        rx: Receiver<DriverReply>,
+    ) -> Self {
+        Self::with_runtime(
+            proc,
+            nprocs,
+            seed,
+            Runtime::Channel { tx, rx, spare_results: Vec::new() },
+        )
+    }
+
+    /// A context on the SPMD path (lock-free exchange-area rendezvous).
+    pub(crate) fn new_spmd(
+        proc: usize,
+        nprocs: usize,
+        seed: u64,
+        link: crate::spmd::SpmdLink,
+    ) -> Self {
+        Self::with_runtime(proc, nprocs, seed, Runtime::Spmd(link))
     }
 
     /// This processor's id in `0..nprocs()`.
@@ -149,11 +260,11 @@ impl Ctx {
             info.name,
             info.len
         );
-        self.queued.puts.push(PutOp {
-            array: arr.id,
-            start,
-            data: data.iter().map(|v| v.to_raw()).collect(),
-        });
+        let mut raw = self.raw_pool.pop().unwrap_or_default();
+        raw.clear();
+        raw.reserve(data.len());
+        raw.extend(data.iter().map(|v| v.to_raw()));
+        self.queued.puts.push(PutOp { array: arr.id, start, data: raw });
     }
 
     /// Queue a read of `len` elements starting at global index
@@ -173,8 +284,9 @@ impl Ctx {
         self.next_ticket += 1;
         if len > 0 {
             self.queued.gets.push(GetOp { array: arr.id, start, len, ticket });
+            self.tickets.issue(ticket, TicketSlot::Pending);
         } else {
-            self.results.insert(ticket, Vec::new());
+            self.tickets.issue(ticket, TicketSlot::Ready(Vec::new()));
         }
         GetTicket { id: ticket, len, issued_phase: self.phase, _elem: PhantomData }
     }
@@ -191,10 +303,20 @@ impl Ctx {
             self.proc,
             ticket.issued_phase
         );
-        let raw =
-            self.results.remove(&ticket.id).expect("get result missing (ticket already taken?)");
+        let raw = self.tickets.take(ticket.id);
         debug_assert_eq!(raw.len(), ticket.len);
-        raw.into_iter().map(T::from_raw).collect()
+        let out = raw.iter().map(|&r| T::from_raw(r)).collect();
+        self.recycle_raw(raw);
+        out
+    }
+
+    /// Return a raw-word buffer to the per-processor pool (bounded by
+    /// [`RAW_POOL_CAP`], so bursts cannot pin unbounded memory).
+    pub(crate) fn recycle_raw(&mut self, mut buf: Vec<u64>) {
+        if self.raw_pool.len() < RAW_POOL_CAP {
+            buf.clear();
+            self.raw_pool.push(buf);
+        }
     }
 
     /// The global index range of `arr` held in this processor's local
@@ -254,34 +376,19 @@ impl Ctx {
         }
     }
 
-    /// End the phase: exchange all queued operations, complete
-    /// pending registrations, and synchronize with every other
-    /// processor. Returns once the barrier releases this processor.
-    pub fn sync(&mut self) {
-        let regs = std::mem::take(&mut self.pending_regs);
-        let unregs = std::mem::take(&mut self.pending_unregs);
-        let payload = SyncPayload {
-            proc: self.proc,
-            charged: std::mem::take(&mut self.charged),
-            // Captured last, just before the send: wall-clock
-            // backends read this as "compute for the phase ended
-            // here" (the price stage's compute/comm split).
-            arrived: std::time::Instant::now(),
-            ops: self.queued.take(),
-            regs: regs.clone(),
-            unregs: unregs.clone(),
-            segments: std::mem::take(&mut self.store.segments),
-        };
-        self.tx.send(WorkerMsg::Sync(payload)).expect("driver hung up");
-        let reply = self.rx.recv().expect("driver hung up");
-        self.store.segments = reply.segments;
-        self.results.extend(reply.results);
-        // Mirror the driver's bookkeeping locally: ids were assigned
-        // in registration order starting from our own counter.
-        let first_new = self.next_array_id - regs.len() as u32;
-        for (k, reg) in regs.into_iter().enumerate() {
+    /// Mirror the driver's phase-end bookkeeping locally: ids were
+    /// assigned in registration order starting from our own counter,
+    /// and the (drained) registration containers are kept for reuse.
+    pub(crate) fn apply_reg_mirror(
+        &mut self,
+        mut regs_back: Vec<Registration>,
+        mut unregs_back: Vec<ArrayId>,
+    ) {
+        let first_new = self.next_array_id - regs_back.len() as u32;
+        for (k, reg) in regs_back.drain(..).enumerate() {
             let id = ArrayId(first_new + k as u32);
-            // The segment itself arrived positionally in the reply.
+            // The segment itself arrived positionally (reply segments
+            // on the channel path; installed in-place on SPMD).
             self.store.set_info(ArrayInfo {
                 id,
                 name: reg.name,
@@ -290,14 +397,66 @@ impl Ctx {
                 layout: reg.layout,
             });
         }
-        for id in unregs {
+        for id in unregs_back.drain(..) {
             self.store.remove(id);
         }
+        self.pending_regs = regs_back;
+        self.pending_unregs = unregs_back;
+    }
+
+    /// End the phase: exchange all queued operations, complete
+    /// pending registrations, and synchronize with every other
+    /// processor. Returns once the barrier releases this processor.
+    pub fn sync(&mut self) {
+        if matches!(self.runtime, Runtime::Spmd(_)) {
+            crate::spmd::sync_phase(self);
+        } else {
+            self.sync_channel();
+        }
+    }
+
+    /// The channel-path `sync()`: rendezvous with the driver thread.
+    fn sync_channel(&mut self) {
+        let Runtime::Channel { tx, rx, spare_results } = &mut self.runtime else {
+            unreachable!("sync_channel on an SPMD context");
+        };
+        let payload = SyncPayload {
+            proc: self.proc,
+            charged: std::mem::take(&mut self.charged),
+            ops: self.queued.take(),
+            regs: std::mem::take(&mut self.pending_regs),
+            unregs: std::mem::take(&mut self.pending_unregs),
+            segments: std::mem::take(&mut self.store.segments),
+            spare_results: std::mem::take(spare_results),
+            // Captured last, just before the send: wall-clock
+            // backends read this as "compute for the phase ended
+            // here" (the price stage's compute/comm split).
+            arrived: std::time::Instant::now(),
+        };
+        tx.send(WorkerMsg::Sync(payload)).expect("driver hung up");
+        let reply = rx.recv().expect("driver hung up");
+        self.store.segments = reply.segments;
+        let mut results = reply.results;
+        for (ticket, data) in results.drain(..) {
+            self.tickets.fulfill(ticket, data);
+        }
+        *spare_results = results;
+        // The worker's own op containers come back drained; the put
+        // buffers themselves were reclaimed into the driver's pool.
+        self.queued = reply.recycle;
+        self.apply_reg_mirror(reply.regs_back, reply.unregs_back);
         self.phase += 1;
     }
 
     /// Tear down: report this processor's final output to the driver.
     pub(crate) fn finish(self) {
-        self.tx.send(WorkerMsg::Finished { proc: self.proc }).expect("driver hung up");
+        match &self.runtime {
+            Runtime::Channel { tx, .. } => {
+                tx.send(WorkerMsg::Finished { proc: self.proc }).expect("driver hung up");
+            }
+            // The SPMD engine runs its own finish rendezvous
+            // (`crate::spmd::epilogue`) before the context drops.
+            Runtime::Spmd(_) => unreachable!("finish() on an SPMD context"),
+        }
     }
 }

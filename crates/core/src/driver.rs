@@ -17,9 +17,14 @@
 //! 4. **record** — emit observability spans/metrics and assemble the
 //!    [`PhaseRecord`] for the cost models.
 //!
-//! Afterwards the segments are handed back to the workers. Ownership
-//! transfer through channels *is* the synchronization — the runtime
-//! contains no locks and no `unsafe`.
+//! Afterwards the segments are handed back to the workers. On the
+//! channel path (the simulated backend), ownership transfer through
+//! channels *is* the synchronization and the pipeline runs on a
+//! dedicated driver thread. The SPMD threads engine (`crate::spmd`)
+//! reuses the exact same plan/price/record stages — generically over
+//! [`PhaseInput`] — but runs them inline on worker 0 against a
+//! lock-free exchange area, so both execution paths meter and price
+//! phases with literally the same code.
 
 use std::time::Instant;
 
@@ -65,13 +70,59 @@ pub(crate) struct SyncPayload {
     pub regs: Vec<Registration>,
     pub unregs: Vec<ArrayId>,
     pub segments: Vec<Segment>,
+    /// Last phase's (drained) result container, returned so the
+    /// driver can build this phase's reply without allocating.
+    pub spare_results: Vec<(u64, Vec<u64>)>,
+}
+
+/// One processor's contribution to a phase, as the plan and price
+/// stages consume it. Implemented by [`SyncPayload`] (channel path)
+/// and by the SPMD exchange area's slot views, so the metering and
+/// pricing code is written exactly once. The slice of inputs handed
+/// to a stage is always indexed by processor id.
+pub(crate) trait PhaseInput {
+    fn charged(&self) -> u64;
+    fn arrived(&self) -> Instant;
+    fn ops(&self) -> &QueuedOps;
+    fn regs(&self) -> &[Registration];
+    fn unregs(&self) -> &[ArrayId];
+}
+
+impl PhaseInput for SyncPayload {
+    fn charged(&self) -> u64 {
+        self.charged
+    }
+    fn arrived(&self) -> Instant {
+        self.arrived
+    }
+    fn ops(&self) -> &QueuedOps {
+        &self.ops
+    }
+    fn regs(&self) -> &[Registration] {
+        &self.regs
+    }
+    fn unregs(&self) -> &[ArrayId] {
+        &self.unregs
+    }
 }
 
 /// What the driver returns to each processor. `segments` reuses the
-/// corresponding [`SyncPayload`]'s container.
+/// corresponding [`SyncPayload`]'s container, and the `recycle` /
+/// `regs_back` / `unregs_back` fields hand the worker back its own
+/// (drained) op and registration containers so the worker-side hot
+/// path never re-allocates them.
 pub(crate) struct DriverReply {
     pub segments: Vec<Segment>,
     pub results: Vec<(u64, Vec<u64>)>,
+    /// The worker's own `QueuedOps` containers, emptied (put payload
+    /// buffers are reclaimed into the driver's raw pool, closing the
+    /// put-buffer/get-reply-buffer cycle).
+    pub recycle: QueuedOps,
+    /// The worker's registration list, moved back so it can mirror
+    /// the driver's id assignment and then reuse the container.
+    pub regs_back: Vec<Registration>,
+    /// The worker's unregistration list, moved back likewise.
+    pub unregs_back: Vec<ArrayId>,
 }
 
 /// Aggregate traffic from one source processor to one cost owner in a
@@ -393,11 +444,15 @@ pub(crate) struct Driver {
     /// paired with the indices touched this phase.
     bank_load: Vec<u64>,
     bank_load_touched: Vec<u32>,
+    /// Recycled raw-word buffers: put payloads reclaimed at hand-back
+    /// feed the next phase's get replies, so in steady state the
+    /// exchange allocates nothing.
+    raw_pool: Vec<Vec<u64>>,
 }
 
 /// Everything the plan stage decides about a phase before any data
 /// moves: the registration changes and the metered traffic totals.
-struct PhasePlan {
+pub(crate) struct PhasePlan {
     new_arrays: Vec<ArrayInfo>,
     unregs: Vec<ArrayId>,
     kappa: u64,
@@ -432,6 +487,19 @@ impl Driver {
             banks: 0,
             bank_load: Vec::new(),
             bank_load_touched: Vec::new(),
+            raw_pool: Vec::new(),
+        }
+    }
+
+    /// Once-per-run initialization: switch on bank metering when the
+    /// backend's machine models destination banks, so bank-free runs
+    /// never touch the layer. Both execution paths call this before
+    /// the first phase.
+    pub(crate) fn begin_run(&mut self, timer: &dyn PhaseTimer) {
+        if let Some(bm) = timer.bank_model() {
+            self.banks = bm.banks_per_node;
+            self.matrix.enable_banks(self.banks);
+            self.bank_load = vec![0; self.p * self.banks];
         }
     }
 
@@ -444,13 +512,7 @@ impl Driver {
         txs: &[Sender<DriverReply>],
         timer: &mut dyn PhaseTimer,
     ) -> Result<Vec<PhaseRecord>, Box<dyn std::any::Any + Send>> {
-        // Bank metering follows the backend's machine model: enabled
-        // once per run, so bank-free runs never touch the layer.
-        if let Some(bm) = timer.bank_model() {
-            self.banks = bm.banks_per_node;
-            self.matrix.enable_banks(self.banks);
-            self.bank_load = vec![0; self.p * self.banks];
-        }
+        self.begin_run(timer);
         let mut records = Vec::new();
         loop {
             let mut syncs: Vec<Option<SyncPayload>> = (0..self.p).map(|_| None).collect();
@@ -531,33 +593,35 @@ impl Driver {
         let faults = timer.fault_counts();
         let bank_wait = timer.bank_wait();
         let record = self.record_stage(&plan, timing, faults, bank_wait);
-        self.handback_stage(&mut replies, &plan);
+        self.handback_stage(&mut payloads, &mut replies, &plan);
         (replies, record)
     }
 
     /// **Stage 1 — plan.** Validate collective registration calls,
     /// assign ids to new arrays, and meter the phase: the traffic
     /// matrix, per-processor h/message counters, and the κ
-    /// contention sweep. No data moves yet.
-    fn plan_stage(&mut self, payloads: &[SyncPayload]) -> PhasePlan {
+    /// contention sweep. No data moves yet. Generic over
+    /// [`PhaseInput`] so the SPMD leader runs the identical code;
+    /// `inputs` is indexed by processor id.
+    pub(crate) fn plan_stage<P: PhaseInput>(&mut self, inputs: &[P]) -> PhasePlan {
         let this = &mut *self;
         let p = this.p;
 
         // --- Collective registration / unregistration validation ---
         for i in 1..p {
             assert!(
-                payloads[i].regs == payloads[0].regs,
+                inputs[i].regs() == inputs[0].regs(),
                 "collective violation: processor {i} registered different arrays \
                  than processor 0 in the same phase"
             );
             assert!(
-                payloads[i].unregs == payloads[0].unregs,
+                inputs[i].unregs() == inputs[0].unregs(),
                 "collective violation: processor {i} unregistered different arrays \
                  than processor 0 in the same phase"
             );
         }
-        let new_arrays: Vec<ArrayInfo> = payloads[0]
-            .regs
+        let new_arrays: Vec<ArrayInfo> = inputs[0]
+            .regs()
             .iter()
             .map(|reg| {
                 let id = ArrayId(this.next_array_id);
@@ -571,7 +635,7 @@ impl Driver {
                 }
             })
             .collect();
-        let unregs = payloads[0].unregs.clone();
+        let unregs = inputs[0].unregs().to_vec();
         for id in &unregs {
             assert!(
                 this.infos.get(id.0 as usize).is_some_and(Option::is_some),
@@ -582,9 +646,8 @@ impl Driver {
         // --- Metering: comm matrix, per-proc counters, κ sweep ---
         debug_assert!(this.matrix.is_empty());
         let banks = this.banks;
-        for payload in payloads {
-            let src = payload.proc;
-            for op in &payload.ops.puts {
+        for (src, input) in inputs.iter().enumerate() {
+            for op in &input.ops().puts {
                 let info = info_for_op(&this.infos, &new_arrays, op.array);
                 let wpe = info.words_per_elem();
                 let acc = &mut this.accesses[op.array.0 as usize];
@@ -629,7 +692,7 @@ impl Driver {
                 );
                 this.m_rw[src] += op.data.len() as u64 * wpe;
             }
-            for op in &payload.ops.gets {
+            for op in &input.ops().gets {
                 let info = info_for_op(&this.infos, &new_arrays, op.array);
                 let wpe = info.words_per_elem();
                 let acc = &mut this.accesses[op.array.0 as usize];
@@ -760,12 +823,20 @@ impl Driver {
         }
 
         // --- Serve gets from the PRE-put state ---
-        // Replies reuse the payloads' segment tables (now empty).
+        // Replies reuse the payloads' segment tables (now empty) and
+        // their returned result containers from the previous phase.
         let mut replies: Vec<DriverReply> = payloads
             .iter_mut()
-            .map(|pl| DriverReply {
-                segments: std::mem::take(&mut pl.segments),
-                results: Vec::new(),
+            .map(|pl| {
+                let mut results = std::mem::take(&mut pl.spare_results);
+                results.clear();
+                DriverReply {
+                    segments: std::mem::take(&mut pl.segments),
+                    results,
+                    recycle: QueuedOps::default(),
+                    regs_back: Vec::new(),
+                    unregs_back: Vec::new(),
+                }
             })
             .collect();
         for payload in payloads.iter() {
@@ -778,7 +849,9 @@ impl Driver {
                     info.name
                 );
                 let segs = &this.mem[aidx];
-                let mut out = Vec::with_capacity(op.len);
+                let mut out = this.raw_pool.pop().unwrap_or_default();
+                out.clear();
+                out.reserve(op.len);
                 for_each_owner_run(
                     Layout::Block,
                     op.array,
@@ -829,18 +902,22 @@ impl Driver {
     /// **Stage 3 — price.** Hand the metered phase to the backend's
     /// [`PhaseTimer`]: charged local operations, the traffic matrix,
     /// and each worker's `sync()` arrival instant.
-    fn price_stage(&mut self, payloads: &[SyncPayload], timer: &mut dyn PhaseTimer) -> PhaseTiming {
+    pub(crate) fn price_stage<P: PhaseInput>(
+        &mut self,
+        inputs: &[P],
+        timer: &mut dyn PhaseTimer,
+    ) -> PhaseTiming {
         self.charged.clear();
-        self.charged.extend(payloads.iter().map(|pl| pl.charged));
+        self.charged.extend(inputs.iter().map(PhaseInput::charged));
         self.arrivals.clear();
-        self.arrivals.extend(payloads.iter().map(|pl| pl.arrived));
+        self.arrivals.extend(inputs.iter().map(PhaseInput::arrived));
         timer.price(&self.charged, &self.matrix, &self.arrivals)
     }
 
     /// **Stage 4 — record.** Emit observability counters/spans and
     /// assemble the [`PhaseRecord`] the cost models consume. Runs
     /// identically on every backend; only the time unit differs.
-    fn record_stage(
+    pub(crate) fn record_stage(
         &mut self,
         plan: &PhasePlan,
         timing: PhaseTiming,
@@ -918,9 +995,15 @@ impl Driver {
     }
 
     /// Install newly registered arrays, drop unregistered ones, hand
-    /// the memory segments back to the workers, and reset the pooled
-    /// per-phase scratch for the next rendezvous.
-    fn handback_stage(&mut self, replies: &mut [DriverReply], plan: &PhasePlan) {
+    /// the memory segments — and the workers' own drained op and
+    /// registration containers — back to the workers, and reset the
+    /// pooled per-phase scratch for the next rendezvous.
+    fn handback_stage(
+        &mut self,
+        payloads: &mut [SyncPayload],
+        replies: &mut [DriverReply],
+        plan: &PhasePlan,
+    ) {
         let this = &mut *self;
         let p = this.p;
 
@@ -950,16 +1033,55 @@ impl Driver {
             }
         }
 
-        // --- Reset pooled scratch for the next phase ---
-        this.matrix.clear();
-        this.m_rw.fill(0);
-        this.h_in_words.fill(0);
-        this.h_out_words.fill(0);
-        this.data_msgs_by.fill(0);
-        for &aid in &this.touched_arrays {
-            this.accesses[aid as usize].clear();
+        // --- Recycle the workers' op + registration containers ---
+        // Put payload buffers drain into the driver's raw pool (they
+        // become the next phase's get-reply buffers); the emptied
+        // containers travel back so the worker hot path reuses them.
+        for (payload, reply) in payloads.iter_mut().zip(replies.iter_mut()) {
+            let mut ops = std::mem::take(&mut payload.ops);
+            for put in ops.puts.drain(..) {
+                let mut buf = put.data;
+                buf.clear();
+                this.raw_pool.push(buf);
+            }
+            ops.gets.clear();
+            reply.recycle = ops;
+            reply.regs_back = std::mem::take(&mut payload.regs);
+            reply.unregs_back = std::mem::take(&mut payload.unregs);
         }
-        this.touched_arrays.clear();
+
+        this.reset_scratch();
+    }
+
+    /// Phase-end bookkeeping for the SPMD path, where workers own
+    /// their memory segments throughout: install metadata for new
+    /// arrays, retire unregistered ones, and reset the pooled scratch.
+    /// The channel path's [`Driver::handback_stage`] does the same
+    /// plus the memory hand-back this path never needs.
+    pub(crate) fn finish_phase_meta(&mut self, plan: &PhasePlan) {
+        for info in &plan.new_arrays {
+            debug_assert_eq!(info.id.0 as usize, self.infos.len());
+            self.infos.push(Some(info.clone()));
+            self.accesses.push(AccessRanges::default());
+        }
+        for id in &plan.unregs {
+            self.infos[id.0 as usize] = None;
+        }
+        self.reset_scratch();
+    }
+
+    /// Reset the pooled per-phase metering scratch for the next
+    /// rendezvous.
+    fn reset_scratch(&mut self) {
+        self.matrix.clear();
+        self.m_rw.fill(0);
+        self.h_in_words.fill(0);
+        self.h_out_words.fill(0);
+        self.data_msgs_by.fill(0);
+        for &aid in &self.touched_arrays {
+            self.accesses[aid as usize].clear();
+        }
+        self.touched_arrays.clear();
     }
 }
 

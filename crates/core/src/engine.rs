@@ -1,20 +1,32 @@
 //! The shared run engine: one pipeline for every backend.
 //!
-//! [`run`] is the only place in the workspace that spawns QSM
+//! [`run`] is the only place in the workspace that launches QSM
 //! workers and drives the phase loop. A [`Machine`] contributes just
-//! its configuration and its [`PhaseTimer`]; everything else — the
-//! rendezvous channels, the worker panic protocol, the driver's
-//! plan → exchange → price → record stages, the ambient
-//! observability hookup, and the final profile/report assembly — is
-//! identical across backends, which is what makes cross-backend
-//! comparisons of the resulting [`RunResult`]s meaningful.
+//! its configuration and its [`PhaseTimer`]; the driver's
+//! plan/price/record stages, the ambient observability hookup, and
+//! the final profile/report assembly are identical across backends,
+//! which is what makes cross-backend comparisons of the resulting
+//! [`RunResult`]s meaningful.
+//!
+//! Two execution paths share those stages:
+//!
+//! * **channel path** (the simulated backend): per-run scoped worker
+//!   threads rendezvous with a dedicated driver thread over channels;
+//!   ownership transfer through the channels is the synchronization.
+//! * **SPMD path** ([`Machine::uses_worker_pool`]; the threads
+//!   backend): jobs run on the resident worker pool (`crate::pool`)
+//!   and synchronize through the lock-free exchange area
+//!   (`crate::spmd`) — no driver thread, no per-run thread spawns.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use crossbeam::channel::{bounded, unbounded};
 use qsm_models::ProgramProfile;
 
 use crate::ctx::Ctx;
-use crate::driver::Driver;
-use crate::machine::{Machine, RunResult};
+use crate::driver::{Driver, PhaseRecord};
+use crate::machine::{Machine, PhaseTimer, RunResult};
 
 /// Run `program` on every processor of `machine` and price the run.
 pub(crate) fn run<M, R, F>(machine: &M, program: F) -> RunResult<R>
@@ -23,6 +35,9 @@ where
     R: Send,
     F: Fn(&mut Ctx) -> R + Send + Sync,
 {
+    if machine.uses_worker_pool() {
+        return run_spmd(machine, program);
+    }
     let p = machine.nprocs();
     let (worker_tx, driver_rx) = unbounded();
     let mut reply_txs = Vec::with_capacity(p);
@@ -75,6 +90,80 @@ where
         Err(payload) => std::panic::resume_unwind(payload),
     };
 
+    assemble(machine, outputs, phases)
+}
+
+/// Run `program` on the resident SPMD worker pool with the lock-free
+/// exchange (`crate::spmd`): one job per processor, worker 0 doubles
+/// as the phase leader running the driver's plan/price/record stages
+/// inline.
+fn run_spmd<M, R, F>(machine: &M, program: F) -> RunResult<R>
+where
+    M: Machine,
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    let p = machine.nprocs();
+    let rec = crate::obs::recorder();
+    let mut driver = Driver::new(p, machine.check_conflicts(), rec.clone());
+    let timer: Box<dyn PhaseTimer> = Box::new(machine.make_timer(rec.clone()));
+    driver.begin_run(timer.as_ref());
+    let area = crate::spmd::ExchangeArea::new(p, driver, timer);
+    let outputs: Vec<Mutex<Option<R>>> = (0..p).map(|_| Mutex::new(None)).collect();
+    let seed = machine.seed();
+    let program = &program;
+    let spawned_before = crate::pool::spawned_workers();
+
+    {
+        let area = &area;
+        let outputs = &outputs;
+        let job = move |proc: usize| {
+            // The context lives OUTSIDE catch_unwind: peers read its
+            // store through the exchange area until the exit
+            // rendezvous, so unwinding must not drop it early.
+            let mut ctx = crate::spmd::make_ctx(proc, p, seed, area);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let out = program(&mut ctx);
+                crate::spmd::epilogue(&mut ctx);
+                out
+            }));
+            match result {
+                Ok(out) => {
+                    *outputs[proc].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }
+                Err(payload) => {
+                    // Release everyone blocked on the barrier; keep
+                    // only originating payloads (peers unwinding on
+                    // the poison carry the internal abort marker).
+                    area.poison();
+                    if !payload.is::<crate::spmd::SpmdAborted>() {
+                        area.stash_panic(proc, payload);
+                    }
+                }
+            }
+            crate::spmd::exit_rendezvous(area);
+        };
+        crate::pool::execute(p, &job);
+    }
+
+    if rec.is_enabled() {
+        rec.add("pool_spawns", crate::pool::spawned_workers() - spawned_before);
+    }
+    let (phases, panic) = area.into_results();
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner().unwrap_or_else(|e| e.into_inner()).expect("worker produced no output")
+        })
+        .collect();
+    assemble(machine, outputs, phases)
+}
+
+/// Backend-agnostic tail of every run: profile + cost report.
+fn assemble<M: Machine, R>(machine: &M, outputs: Vec<R>, phases: Vec<PhaseRecord>) -> RunResult<R> {
     let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
     let report = machine.make_report(&phases);
     RunResult { outputs, phases, profile, report }

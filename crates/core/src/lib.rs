@@ -60,12 +60,20 @@ pub mod calibrate;
 pub mod ctx;
 mod driver;
 mod engine;
+pub mod knob;
 pub mod machine;
 pub mod obs;
 pub mod ops;
+// The channel-path runtime contains no unsafe at all; the SPMD
+// threads engine and its worker pool are the two audited exceptions
+// (barrier-bracketed shared slots, raw-syscall core pinning).
+#[allow(unsafe_code)]
+pub mod pool;
 pub mod shmem;
 pub mod sim_runtime;
 mod sim_timer;
+#[allow(unsafe_code)]
+mod spmd;
 pub mod thread_runtime;
 pub mod word;
 

@@ -78,7 +78,10 @@ pub trait PhaseTimer: Send {
 /// for a program running unmodified on both backends.
 pub trait Machine {
     /// The phase-pricing strategy this backend plugs into the engine.
-    type Timer: PhaseTimer;
+    /// (`'static` so the SPMD engine can hold it as a trait object
+    /// across the run; timers are configuration + counters, never
+    /// borrows.)
+    type Timer: PhaseTimer + 'static;
 
     /// Number of processors.
     fn nprocs(&self) -> usize;
@@ -98,6 +101,15 @@ pub trait Machine {
 
     /// Build the timer for one run, emitting into `rec`.
     fn make_timer(&self, rec: Recorder) -> Self::Timer;
+
+    /// Whether runs execute on the resident SPMD worker pool
+    /// (`crate::pool`) with the lock-free exchange instead of the
+    /// channel-path driver thread. Default: channel path. The
+    /// threads backend opts in; the simulated backend keeps the
+    /// deterministic driver pipeline.
+    fn uses_worker_pool(&self) -> bool {
+        false
+    }
 
     /// Assemble the run's cost report from its phase records.
     fn make_report(&self, phases: &[PhaseRecord]) -> CostReport;
@@ -300,6 +312,13 @@ impl Machine for AnyMachine {
         match self {
             AnyMachine::Sim(m) => AnyTimer(AnyTimerInner::Sim(Box::new(m.make_timer(rec)))),
             AnyMachine::Threads(m) => AnyTimer(AnyTimerInner::Wall(m.make_timer(rec))),
+        }
+    }
+
+    fn uses_worker_pool(&self) -> bool {
+        match self {
+            AnyMachine::Sim(m) => m.uses_worker_pool(),
+            AnyMachine::Threads(m) => m.uses_worker_pool(),
         }
     }
 

@@ -1,0 +1,265 @@
+//! Process-global pool of resident SPMD worker threads.
+//!
+//! The threads backend used to spawn a fresh `crossbeam::thread`
+//! scope of `p` workers on every `run()`. At large `p` (or many
+//! small runs) thread creation dominates, so this module keeps a
+//! process-global pool of **resident** workers that are spawned once
+//! and reused for every subsequent run: `execute` submits one job
+//! per processor to the resident workers and blocks until all report
+//! completion. Workers beyond the resident cap (knob `QSM_POOL`;
+//! default: grow to the largest `p` ever requested) are spawned
+//! per-run as overflow and do not persist.
+//!
+//! With `QSM_PIN=1` each worker is pinned to host core
+//! `index % available_parallelism()` at spawn via a raw
+//! `sched_setaffinity` syscall (the workspace vendors no libc). On
+//! platforms where pinning is unsupported or fails, a single warning
+//! is printed and workers run unpinned.
+//!
+//! Concurrent `execute` calls serialize on the pool lock for the
+//! whole run: SPMD jobs rendezvous on barriers, so interleaving two
+//! runs' jobs across one set of workers would deadlock.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::knob;
+
+/// A worker-thread panic payload, forwarded to `execute`'s caller.
+type Payload = Box<dyn std::any::Any + Send>;
+
+/// A lifetime-erased job: `execute` guarantees the underlying
+/// borrow outlives every use (it blocks until all done-signals are
+/// in), so the erased `'static` is never exercised.
+type JobRef = &'static (dyn Fn(usize) + Sync);
+
+struct Job {
+    f: JobRef,
+    proc: usize,
+    done: Sender<Result<(), Payload>>,
+}
+
+struct PoolState {
+    /// Job inboxes of resident workers; index = worker = processor id.
+    workers: Vec<Sender<Job>>,
+}
+
+static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
+
+/// Every worker thread this module ever spawned (resident and
+/// overflow). Monotonic; never reset.
+static SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total worker threads spawned by the engine so far in this process
+/// (resident pool workers plus per-run overflow workers). The delta
+/// across two `run()` calls is zero exactly when the pool was fully
+/// reused; tests assert on it.
+pub fn spawned_workers() -> u64 {
+    SPAWNED.load(Ordering::Acquire)
+}
+
+/// Resident-worker cap from `QSM_POOL` (default: unbounded, i.e. the
+/// pool grows to the largest `p` ever requested; `0` keeps no
+/// resident workers at all). Read once per process.
+fn pool_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| knob::env_usize("QSM_POOL").unwrap_or(usize::MAX))
+}
+
+/// Whether `QSM_PIN` requests core affinity. Read once per process.
+fn pinning() -> bool {
+    static PIN: OnceLock<bool> = OnceLock::new();
+    *PIN.get_or_init(|| knob::env_usize("QSM_PIN").is_some_and(|v| v != 0))
+}
+
+/// Logical host cores (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn warn_pin_failed_once() {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    WARNED.get_or_init(|| {
+        eprintln!(
+            "warning: QSM_PIN requested but core pinning failed or is unsupported \
+             on this platform; workers run unpinned"
+        );
+    });
+}
+
+/// Pin the calling thread when `QSM_PIN` asks for it (warn-once
+/// fallback otherwise). Worker `idx` goes to core
+/// `idx % available_parallelism()`.
+fn maybe_pin(idx: usize) {
+    if pinning() && !pin_to_core(idx % host_cores()) {
+        warn_pin_failed_once();
+    }
+}
+
+/// `sched_setaffinity(0, len, mask)` by raw syscall — the workspace
+/// vendors no libc and the Linux syscall ABI is stable.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_to_core(core: usize) -> bool {
+    let mut mask = [0u64; 16]; // up to 1024 logical CPUs
+    if core >= mask.len() * 64 {
+        return false;
+    }
+    mask[core / 64] |= 1u64 << (core % 64);
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,                 // pid 0 = calling thread
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// `sched_setaffinity(0, len, mask)` by raw syscall (see x86_64 note).
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn pin_to_core(core: usize) -> bool {
+    let mut mask = [0u64; 16]; // up to 1024 logical CPUs
+    if core >= mask.len() * 64 {
+        return false;
+    }
+    mask[core / 64] |= 1u64 << (core % 64);
+    let ret: isize;
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") 122isize, // __NR_sched_setaffinity
+            inlateout("x0") 0isize => ret,
+            in("x1") std::mem::size_of_val(&mask),
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+/// Spawn resident worker `idx`: a detached process-lifetime thread
+/// that loops on its job inbox. The defensive `catch_unwind` keeps a
+/// panicking job from killing the resident worker (the SPMD engine
+/// catches its own panics, so this fires only for foreign jobs).
+fn spawn_resident(idx: usize) -> Sender<Job> {
+    let (tx, rx) = unbounded::<Job>();
+    SPAWNED.fetch_add(1, Ordering::AcqRel);
+    std::thread::Builder::new()
+        .name(format!("qsm-pool-{idx}"))
+        .spawn(move || {
+            maybe_pin(idx);
+            while let Ok(job) = rx.recv() {
+                let result = catch_unwind(AssertUnwindSafe(|| (job.f)(job.proc)));
+                let _ = job.done.send(result);
+            }
+        })
+        .expect("failed to spawn pool worker");
+    tx
+}
+
+/// Run `job(proc)` for every `proc` in `0..p`, each invocation on its
+/// own worker thread, and return once all `p` invocations completed.
+///
+/// Processors `0..min(p, QSM_POOL)` run on resident pool workers
+/// (spawned on first use, reused ever after); any remainder runs on
+/// per-call overflow threads. If any job panicked, the first payload
+/// (by completion order) is re-raised after all jobs finished.
+pub(crate) fn execute(p: usize, job: &(dyn Fn(usize) + Sync)) {
+    let pool = POOL.get_or_init(|| Mutex::new(PoolState { workers: Vec::new() }));
+    // Held for the entire call — see the module doc on serialization.
+    let mut state = pool.lock().unwrap_or_else(|e| e.into_inner());
+    let resident_target = p.min(pool_cap());
+    while state.workers.len() < resident_target {
+        let idx = state.workers.len();
+        let tx = spawn_resident(idx);
+        state.workers.push(tx);
+    }
+    // SAFETY: the erased job reference is used only by resident
+    // workers (until their done-signal below) and overflow scope
+    // threads (joined before the scope ends); both complete before
+    // `execute` returns, so the borrow outlives every use.
+    let job_static: JobRef = unsafe { std::mem::transmute(job) };
+    let (done_tx, done_rx) = unbounded::<Result<(), Payload>>();
+    let resident_used = p.min(state.workers.len());
+    let first_panic = crossbeam::thread::scope(|scope| {
+        for proc in resident_used..p {
+            SPAWNED.fetch_add(1, Ordering::AcqRel);
+            let done = done_tx.clone();
+            scope.spawn(move |_| {
+                maybe_pin(proc);
+                let result = catch_unwind(AssertUnwindSafe(|| job_static(proc)));
+                let _ = done.send(result);
+            });
+        }
+        for (proc, worker) in state.workers.iter().enumerate().take(resident_used) {
+            worker
+                .send(Job { f: job_static, proc, done: done_tx.clone() })
+                .expect("pool worker died");
+        }
+        let mut first_panic = None;
+        for _ in 0..p {
+            if let Err(payload) = done_rx.recv().expect("worker hung up") {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        first_panic
+    })
+    .expect("overflow worker panicked outside the job");
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn execute_runs_every_proc_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let job = |proc: usize| {
+            hits[proc].fetch_add(1, Ordering::SeqCst);
+        };
+        execute(8, &job);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn repeated_execute_reuses_resident_workers() {
+        // Warm the pool to the largest p any test in this binary uses,
+        // so a concurrently running test cannot grow it mid-assert.
+        execute(8, &|_proc| {});
+        let before = spawned_workers();
+        for _ in 0..3 {
+            execute(8, &|_proc| {});
+        }
+        assert_eq!(spawned_workers(), before, "resident workers must be reused");
+    }
+
+    #[test]
+    fn pinning_tracks_the_knob() {
+        // The cached knob must agree with the environment (CI runs
+        // this suite both with and without QSM_PIN=1), and pinning —
+        // requested or not — must never panic.
+        let requested = std::env::var("QSM_PIN").is_ok_and(|v| v != "0");
+        assert_eq!(pinning(), requested);
+        maybe_pin(0);
+    }
+}

@@ -81,10 +81,12 @@ pub type Segment = Vec<u64>;
 /// The per-processor view of shared memory: segment storage plus
 /// array metadata, both dense `Vec`s indexed by `ArrayId.0` (ids are
 /// assigned sequentially, so the tables stay small and lookup is a
-/// bounds check instead of a hash). Workers own this between syncs;
-/// the driver owns the segments during exchanges (ownership travels
-/// through channels, which is the entire synchronization story — no
-/// locks, no unsafe).
+/// bounds check instead of a hash). Workers own this between syncs.
+/// On the channel path the driver owns the segments during exchanges
+/// (ownership travels through channels, which is that path's entire
+/// synchronization story — no locks, no unsafe); on the SPMD threads
+/// path workers keep their segments and peers read them only inside
+/// the barrier-bracketed window of `crate::spmd`.
 #[derive(Debug, Default)]
 pub struct LocalStore {
     /// Metadata for every array id ever assigned; `None` when the

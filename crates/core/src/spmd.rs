@@ -1,0 +1,533 @@
+//! The SPMD threads engine: a lock-free, double-buffered `sync()`.
+//!
+//! On the threads backend no driver thread exists. Every worker
+//! publishes its phase contribution (charged ops, queued puts/gets,
+//! registrations, and a pointer to its own memory segments) into a
+//! per-processor **slot** of a shared [`ExchangeArea`], then crosses
+//! two barriers per phase:
+//!
+//! ```text
+//!   publish slot[phase % 2]          (each worker, its own slot)
+//!   ── B1 ──────────────────────────
+//!   leader: plan stage               (worker 0; reads all slots)
+//!   all:    serve own gets           (read peers' frozen stores)
+//!   ── B2 ──────────────────────────
+//!   all:    apply puts to own block, install/retire arrays
+//!   leader: price + record stages    (overlaps peers' next compute)
+//! ```
+//!
+//! Slots are double-buffered by phase parity (the `active_buffer`
+//! idiom): phase *k* publishes into `slots[k % 2]`, so the leader's
+//! trailing price/record work on phase *k* can overlap the peers'
+//! publication of phase *k+1* without contention. A slot stays
+//! untouched until its owner republishes at phase *k+2*, which cannot
+//! happen before the leader finished phase *k* (the leader only
+//! reaches the *k+1* barriers after recording *k*).
+//!
+//! The plan/price/record stages are literally the driver's
+//! (`Driver::plan_stage` & co., generic over
+//! [`PhaseInput`]), so both execution paths meter and price phases
+//! with the same code; only the *exchange* differs — workers serve
+//! their own gets from peers' frozen stores between the barriers and
+//! apply the puts that land in their own block right after B2, in the
+//! same deterministic processor-then-issue order as the driver.
+//!
+//! ### Memory-safety windows
+//!
+//! All cross-thread access to slot contents is bracketed by the two
+//! barriers (which provide the happens-before edges):
+//!
+//! * a slot published for phase *k* is read by others only between
+//!   B1(*k*) and the leader's record(*k*);
+//! * each worker's [`LocalStore`] is frozen from its publish until
+//!   B2(*k*) (reads by any worker), and mutated only by its owner
+//!   afterwards;
+//! * registration slices published by pointer are read only by the
+//!   leader between B1 and B2; owners clear them after B2.
+//!
+//! ### Aborts
+//!
+//! A panicking worker (user program or a collective-violation check)
+//! poisons the shared barrier; every other worker observes the poison
+//! at its next (or current) wait and unwinds with a private
+//! [`SpmdAborted`] marker. All workers then meet at an exit
+//! rendezvous — no worker's `Ctx` (and thus no published store) is
+//! dropped while a peer could still read it — and the engine re-raises
+//! the first real payload.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::addr::{block_range, for_each_owner_run, ArrayId, Layout};
+use crate::ctx::{Ctx, Runtime};
+use crate::driver::{Driver, PhaseInput, PhasePlan, PhaseRecord};
+use crate::machine::PhaseTimer;
+use crate::ops::QueuedOps;
+use crate::shmem::{ArrayInfo, LocalStore, Registration};
+
+/// Marker payload workers unwind with when a *peer* failed: the
+/// engine suppresses it in favor of the originating panic.
+pub(crate) struct SpmdAborted;
+
+#[cold]
+fn aborted() -> ! {
+    std::panic::panic_any(SpmdAborted);
+}
+
+/// Adaptive wait: brief spin, then yield, then sleep — the host may
+/// have (many) fewer cores than workers, so unbounded spinning would
+/// starve the very thread being waited on.
+fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else if *spins < 256 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+/// A reusable, poisonable spin barrier (sense via a generation
+/// counter). `wait()` returns whether the barrier is poisoned;
+/// poisoned barriers release all current and future waiters
+/// immediately, which is how a panicking worker unblocks its peers.
+struct SpinBarrier {
+    p: usize,
+    count: AtomicUsize,
+    gen: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(p: usize) -> Self {
+        Self {
+            p,
+            count: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Block until all `p` workers arrived (or the barrier was
+    /// poisoned); returns `true` iff poisoned. The release-store of
+    /// `gen` by the last arriver and the acquire-loads by the
+    /// spinners (plus the AcqRel RMW chain on `count`) provide the
+    /// happens-before edge between everything published before the
+    /// barrier and everything read after it.
+    fn wait(&self) -> bool {
+        if self.is_poisoned() {
+            return true;
+        }
+        let g = self.gen.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.p {
+            self.count.store(0, Ordering::Relaxed);
+            self.gen.store(g + 1, Ordering::Release);
+            self.is_poisoned()
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == g {
+                if self.is_poisoned() {
+                    return true;
+                }
+                backoff(&mut spins);
+            }
+            self.is_poisoned()
+        }
+    }
+}
+
+/// Slot states (plain `u8` behind the barrier's ordering).
+const STATE_EMPTY: u8 = 0;
+const STATE_SYNCED: u8 = 1;
+const STATE_FINISHED: u8 = 2;
+
+/// One processor's published phase contribution. Written only by its
+/// owner (at publish time); read by peers only inside the barrier
+/// windows documented on the module.
+pub(crate) struct Slot {
+    state: AtomicU8,
+    charged: UnsafeCell<u64>,
+    arrived: UnsafeCell<Instant>,
+    /// Queued ops, moved in at publish; put payload buffers are
+    /// reclaimed by the owner when it republishes two phases later.
+    ops: UnsafeCell<QueuedOps>,
+    /// The owner's pending registrations (valid B1..B2; leader only).
+    regs: UnsafeCell<*const [Registration]>,
+    /// The owner's pending unregistrations (valid B1..B2; leader only).
+    unregs: UnsafeCell<*const [ArrayId]>,
+    /// The owner's memory view (frozen publish..B2; any worker).
+    store: UnsafeCell<*const LocalStore>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        const NO_REGS: &[Registration] = &[];
+        const NO_UNREGS: &[ArrayId] = &[];
+        Self {
+            state: AtomicU8::new(STATE_EMPTY),
+            charged: UnsafeCell::new(0),
+            arrived: UnsafeCell::new(Instant::now()),
+            ops: UnsafeCell::new(QueuedOps::default()),
+            regs: UnsafeCell::new(NO_REGS as *const [Registration]),
+            unregs: UnsafeCell::new(NO_UNREGS as *const [ArrayId]),
+            store: UnsafeCell::new(std::ptr::null()),
+        }
+    }
+}
+
+// SAFETY: every UnsafeCell in a Slot follows the single-writer
+// barrier-bracketed protocol documented on the module: the owner
+// writes only at publish time, peers read only inside the barrier
+// windows, and the barrier provides the required happens-before.
+impl PhaseInput for Slot {
+    fn charged(&self) -> u64 {
+        unsafe { *self.charged.get() }
+    }
+    fn arrived(&self) -> Instant {
+        unsafe { *self.arrived.get() }
+    }
+    fn ops(&self) -> &QueuedOps {
+        unsafe { &*self.ops.get() }
+    }
+    fn regs(&self) -> &[Registration] {
+        unsafe { &**self.regs.get() }
+    }
+    fn unregs(&self) -> &[ArrayId] {
+        unsafe { &**self.unregs.get() }
+    }
+}
+
+/// Phase-pipeline state owned by worker 0 (the leader): the shared
+/// metering/pricing driver, the backend timer, and the growing record
+/// stream.
+struct LeaderState {
+    driver: Driver,
+    timer: Box<dyn PhaseTimer>,
+    records: Vec<PhaseRecord>,
+    plan: Option<PhasePlan>,
+}
+
+/// The shared rendezvous structure of one SPMD run. Lives on the
+/// engine's stack frame; workers borrow it for the run's duration
+/// (the exit rendezvous guarantees no worker outlives the borrow).
+pub(crate) struct ExchangeArea {
+    p: usize,
+    /// Double-buffered per-processor slots, indexed `[phase % 2][proc]`.
+    slots: [Box<[Slot]>; 2],
+    barrier: SpinBarrier,
+    /// Exit rendezvous: workers count themselves out and spin until
+    /// everyone left, so no `Ctx` drops while a peer might read it.
+    exited: AtomicUsize,
+    /// Real panic payloads, stashed by the engine's worker wrapper.
+    panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>>,
+    leader: UnsafeCell<LeaderState>,
+}
+
+// SAFETY: Slot access follows the single-writer barrier protocol
+// (see the module doc); `leader` is touched only by worker 0 during
+// the run and by the owning engine frame after every worker exited.
+unsafe impl Sync for ExchangeArea {}
+
+impl ExchangeArea {
+    pub(crate) fn new(p: usize, driver: Driver, timer: Box<dyn PhaseTimer>) -> Self {
+        let mk = || (0..p).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice();
+        Self {
+            p,
+            slots: [mk(), mk()],
+            barrier: SpinBarrier::new(p),
+            exited: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+            leader: UnsafeCell::new(LeaderState { driver, timer, records: Vec::new(), plan: None }),
+        }
+    }
+
+    /// Release all workers blocked (now or later) on the barrier;
+    /// called by the engine's wrapper when any worker panics.
+    pub(crate) fn poison(&self) {
+        self.barrier.poison();
+    }
+
+    /// Record a real (non-marker) panic payload for re-raising.
+    pub(crate) fn stash_panic(&self, proc: usize, payload: Box<dyn std::any::Any + Send>) {
+        self.panics.lock().unwrap_or_else(|e| e.into_inner()).push((proc, payload));
+    }
+
+    /// Tear down after every worker exited: the recorded phases and
+    /// the lowest-processor real panic payload, if any.
+    pub(crate) fn into_results(self) -> (Vec<PhaseRecord>, Option<Box<dyn std::any::Any + Send>>) {
+        let mut panics = self.panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        panics.sort_by_key(|&(proc, _)| proc);
+        let payload = (!panics.is_empty()).then(|| panics.remove(0).1);
+        (self.leader.into_inner().records, payload)
+    }
+}
+
+/// A `Ctx`'s handle onto the exchange area. The raw pointer is
+/// dereferenced only while the engine's stack frame (which owns the
+/// area and blocks until every worker exits) is alive.
+#[derive(Clone, Copy)]
+pub(crate) struct SpmdLink {
+    area: *const ExchangeArea,
+}
+
+/// Build the per-processor context for one SPMD worker.
+pub(crate) fn make_ctx(proc: usize, nprocs: usize, seed: u64, area: &ExchangeArea) -> Ctx {
+    Ctx::new_spmd(proc, nprocs, seed, SpmdLink { area })
+}
+
+/// Count this worker out and wait until every worker did; after this
+/// returns, no peer will ever read this worker's `Ctx` again.
+pub(crate) fn exit_rendezvous(area: &ExchangeArea) {
+    area.exited.fetch_add(1, Ordering::AcqRel);
+    let mut spins = 0u32;
+    while area.exited.load(Ordering::Acquire) < area.p {
+        backoff(&mut spins);
+    }
+}
+
+fn area_of(ctx: &Ctx) -> &'static ExchangeArea {
+    let link = match &ctx.runtime {
+        Runtime::Spmd(link) => *link,
+        Runtime::Channel { .. } => unreachable!("SPMD call on a channel-path Ctx"),
+    };
+    // SAFETY: the engine keeps the area alive until after the exit
+    // rendezvous, which strictly follows every use of this reference.
+    // (The 'static is a local fiction; the reference never escapes
+    // the sync/epilogue call that derived it.)
+    unsafe { &*link.area }
+}
+
+/// Move this phase's contribution into our slot at `parity`,
+/// reclaiming the buffers the slot still holds from phase-2.
+fn publish(ctx: &mut Ctx, area: &ExchangeArea, parity: usize, state: u8) {
+    let slot = &area.slots[parity][ctx.proc];
+    // SAFETY: only the owner writes its slot, and the phase-(k-2)
+    // tenant is fully retired by the time phase k publishes (module
+    // doc); no reader may touch the slot until after B1.
+    unsafe {
+        let ops_cell = &mut *slot.ops.get();
+        let mut old = std::mem::replace(ops_cell, ctx.queued.take());
+        for put in old.puts.drain(..) {
+            ctx.recycle_raw(put.data);
+        }
+        old.gets.clear();
+        ctx.queued = old;
+        *slot.charged.get() = std::mem::take(&mut ctx.charged);
+        *slot.regs.get() = ctx.pending_regs.as_slice() as *const [Registration];
+        *slot.unregs.get() = ctx.pending_unregs.as_slice() as *const [ArrayId];
+        *slot.store.get() = &ctx.store as *const LocalStore;
+        // Captured last: wall-clock backends read this as "compute
+        // ended here" (the price stage's compute/comm split).
+        *slot.arrived.get() = Instant::now();
+    }
+    slot.state.store(state, Ordering::Release);
+}
+
+/// How many workers published `FINISHED` at this parity.
+fn count_finished(area: &ExchangeArea, parity: usize) -> usize {
+    area.slots[parity].iter().filter(|s| s.state.load(Ordering::Relaxed) == STATE_FINISHED).count()
+}
+
+#[cold]
+fn collective_violation(finished: usize, p: usize) -> ! {
+    panic!(
+        "collective violation: {} processor(s) returned while {} called sync()",
+        finished,
+        p - finished
+    );
+}
+
+/// Serve this worker's own queued gets from the peers' published
+/// (pre-put) stores. Runs between B1 and B2, where every store at
+/// this parity is frozen.
+fn serve_own_gets(ctx: &mut Ctx, area: &ExchangeArea, parity: usize) {
+    let p = area.p;
+    // SAFETY: our own slot's ops are ours to read; peers' store
+    // pointers are valid and frozen until B2 (module doc).
+    let my_ops = unsafe { &*area.slots[parity][ctx.proc].ops.get() };
+    for op in &my_ops.gets {
+        let len = ctx.store.info(op.array).len;
+        let mut out = ctx.raw_pool.pop().unwrap_or_default();
+        out.clear();
+        out.reserve(op.len);
+        for_each_owner_run(Layout::Block, op.array, len, p, op.start, op.len, |owner, s, l| {
+            // SAFETY: see above — frozen peer store, valid until B2.
+            let peer = unsafe { &*(*area.slots[parity][owner].store.get()) };
+            let base = block_range(len, p, owner).start;
+            let seg = peer.segment(op.array);
+            out.extend_from_slice(&seg[s - base..s - base + l]);
+        });
+        ctx.tickets.fulfill(op.ticket, out);
+    }
+}
+
+/// After B2: apply every put that lands in this worker's block (in
+/// processor-then-issue order, exactly the driver's deterministic
+/// resolution), then install newly registered arrays zero-initialized
+/// and retire unregistered ones.
+fn apply_exchange(ctx: &mut Ctx, area: &ExchangeArea, parity: usize) {
+    let p = area.p;
+    let me = ctx.proc;
+    for src in 0..p {
+        // SAFETY: phase-k ops stay frozen until their owner
+        // republishes at k+2, which the barrier structure forbids
+        // before the leader records k (module doc).
+        let src_ops = unsafe { &*area.slots[parity][src].ops.get() };
+        for op in &src_ops.puts {
+            let len = ctx.store.info(op.array).len;
+            let base = block_range(len, p, me).start;
+            let seg = ctx.store.segment_mut(op.array);
+            let mut off = 0usize;
+            for_each_owner_run(
+                Layout::Block,
+                op.array,
+                len,
+                p,
+                op.start,
+                op.data.len(),
+                |owner, s, l| {
+                    if owner == me {
+                        seg[s - base..s - base + l].copy_from_slice(&op.data[off..off + l]);
+                    }
+                    off += l;
+                },
+            );
+        }
+    }
+    let mut regs = std::mem::take(&mut ctx.pending_regs);
+    let first_new = ctx.next_array_id - regs.len() as u32;
+    for (k, reg) in regs.drain(..).enumerate() {
+        let id = ArrayId(first_new + k as u32);
+        let seg_len = block_range(reg.len, p, me).len();
+        ctx.store.install(
+            ArrayInfo {
+                id,
+                name: reg.name,
+                len: reg.len,
+                elem_bytes: reg.elem_bytes,
+                layout: reg.layout,
+            },
+            vec![0u64; seg_len],
+        );
+    }
+    ctx.pending_regs = regs;
+    let mut unregs = std::mem::take(&mut ctx.pending_unregs);
+    for id in unregs.drain(..) {
+        ctx.store.remove(id);
+    }
+    ctx.pending_unregs = unregs;
+}
+
+/// Worker 0, between B1 and B2: run the driver's plan stage over the
+/// published slots (collective validation, id assignment, metering).
+fn leader_plan(area: &ExchangeArea, parity: usize) {
+    // SAFETY: worker 0 is the only accessor of the leader state
+    // during the run.
+    let leader = unsafe { &mut *area.leader.get() };
+    let plan = leader.driver.plan_stage(&area.slots[parity]);
+    leader.plan = Some(plan);
+}
+
+/// Worker 0, after B2: price and record the phase (overlapping the
+/// peers' next compute), then retire the plan's metadata changes.
+fn leader_finish(area: &ExchangeArea, parity: usize) {
+    // SAFETY: as in `leader_plan`.
+    let leader = unsafe { &mut *area.leader.get() };
+    let plan = leader.plan.take().expect("leader plan missing at phase end");
+    let timing = leader.driver.price_stage(&area.slots[parity], leader.timer.as_mut());
+    let faults = leader.timer.fault_counts();
+    let bank_wait = leader.timer.bank_wait();
+    let record = leader.driver.record_stage(&plan, timing, faults, bank_wait);
+    leader.records.push(record);
+    leader.driver.finish_phase_meta(&plan);
+}
+
+/// One SPMD `sync()`: the publish / B1 / plan+serve / B2 / apply
+/// pipeline described on the module.
+pub(crate) fn sync_phase(ctx: &mut Ctx) {
+    let area = area_of(ctx);
+    let parity = (ctx.phase & 1) as usize;
+    publish(ctx, area, parity, STATE_SYNCED);
+    if area.barrier.wait() {
+        aborted();
+    }
+    let finished = count_finished(area, parity);
+    if finished > 0 {
+        collective_violation(finished, area.p);
+    }
+    if ctx.proc == 0 {
+        leader_plan(area, parity);
+    }
+    serve_own_gets(ctx, area, parity);
+    if area.barrier.wait() {
+        aborted();
+    }
+    apply_exchange(ctx, area, parity);
+    if ctx.proc == 0 {
+        leader_finish(area, parity);
+    }
+    ctx.phase += 1;
+}
+
+/// SPMD teardown: publish `FINISHED` and rendezvous one last time so
+/// a mismatched `sync()` elsewhere is diagnosed as a collective
+/// violation (every worker must return together).
+pub(crate) fn epilogue(ctx: &mut Ctx) {
+    let area = area_of(ctx);
+    let parity = (ctx.phase & 1) as usize;
+    publish(ctx, area, parity, STATE_FINISHED);
+    if area.barrier.wait() {
+        aborted();
+    }
+    let finished = count_finished(area, parity);
+    if finished < area.p {
+        collective_violation(finished, area.p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_barrier_synchronizes_and_reuses() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for round in 1..=3 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        assert!(!barrier.wait());
+                        assert_eq!(counter.load(Ordering::SeqCst), 4 * round);
+                        assert!(!barrier.wait());
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn poisoned_barrier_releases_waiters() {
+        let barrier = SpinBarrier::new(2);
+        crossbeam::thread::scope(|scope| {
+            let waiter = scope.spawn(|_| barrier.wait());
+            barrier.poison();
+            assert!(waiter.join().unwrap(), "poison must release the waiter");
+        })
+        .unwrap();
+        assert!(barrier.wait(), "poisoned barriers release immediately");
+    }
+}

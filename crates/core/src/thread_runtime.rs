@@ -229,6 +229,12 @@ impl Machine for ThreadMachine {
         WallTimer::with_recorder(rec).with_banks(self.model_cfg.net.banks)
     }
 
+    /// The native machine runs on the resident SPMD worker pool with
+    /// the lock-free exchange: no driver thread, no per-run spawns.
+    fn uses_worker_pool(&self) -> bool {
+        true
+    }
+
     fn make_report(&self, phases: &[PhaseRecord]) -> CostReport {
         CostReport::build(&self.model_cfg, phases, empty_sync_cost(self.model_cfg).get())
             .with_measured_unit("ns")
