@@ -8,9 +8,12 @@
 //! [`qsm_core::CostReport`]), the phase's contention κ, the observed
 //! bank-κ and bank queuing time when a destination-bank model is
 //! active (`QSM_BANKS`; both columns read 0 without one, and on the
-//! threads backend, which does not simulate banks), and which
-//! processor reached the barrier last. The [`qsm_core::CostReport`]
-//! summary follows.
+//! threads backend, which does not simulate banks), which processor
+//! reached the barrier last, the phase's worker compute imbalance
+//! (`imb_pct`: spread `(max − min)/max` of per-processor compute
+//! time), and the share of total processor-time spent waiting on
+//! barriers (`bwait_pct`). The [`qsm_core::CostReport`] summary
+//! follows.
 //!
 //! Knobs: `QSM_ALGO=prefix|samplesort|listrank` (default `prefix`),
 //! `QSM_P` (default 8), `QSM_N` (default 65536),
@@ -75,6 +78,46 @@ fn slowest_by_phase(data: &ObsData, nphases: usize) -> Vec<Option<u32>> {
     last.into_iter().map(|o| o.map(|(_, lane)| lane)).collect()
 }
 
+/// Per-phase load-balance columns from the per-lane spans:
+/// `(imb_pct, bwait_pct)` — compute imbalance `(max − min) / max`
+/// over the per-lane summed compute time, and total barrier-wait
+/// time as a share of the phase's processor-time `p · elapsed`.
+/// Works on either backend's span stream; on the threads backend each
+/// worker emits two barrier legs per phase, and summing counts both.
+fn balance_by_phase(data: &ObsData, phases: &[PhaseRecord], p: usize) -> Vec<(f64, f64)> {
+    let nphases = phases.len();
+    let mut compute = vec![vec![0.0f64; p]; nphases];
+    let mut bwait = vec![0.0f64; nphases];
+    for s in &data.spans {
+        let k = s.phase as usize;
+        if k >= nphases {
+            continue; // epilogue / non-phase spans
+        }
+        match s.kind {
+            SpanKind::Compute => {
+                if let Some(c) = compute[k].get_mut(s.lane as usize) {
+                    *c += s.dur.get();
+                }
+            }
+            SpanKind::BarrierWait => bwait[k] += s.dur.get(),
+            _ => {}
+        }
+    }
+    phases
+        .iter()
+        .enumerate()
+        .map(|(k, r)| {
+            let (max, min) = compute[k]
+                .iter()
+                .fold((0.0f64, f64::INFINITY), |(mx, mn), &c| (mx.max(c), mn.min(c)));
+            let imb = if max > 0.0 { (max - min) / max * 100.0 } else { 0.0 };
+            let ptime = r.timing.elapsed.get() * p as f64;
+            let bw = if ptime > 0.0 { bwait[k] / ptime * 100.0 } else { 0.0 };
+            (imb, bw)
+        })
+        .collect()
+}
+
 fn main() {
     // Full level regardless of QSM_TRACE: the table itself needs the
     // per-processor spans.
@@ -94,6 +137,7 @@ fn main() {
     });
 
     let slowest = slowest_by_phase(&data, phases.len());
+    let balance = balance_by_phase(&data, &phases, p);
     let m = &report.models;
     let rows: Vec<Vec<String>> = phases
         .iter()
@@ -112,6 +156,8 @@ fn main() {
                 r.bank_kappa.to_string(),
                 format!("{:.0}", r.bank_wait.get()),
                 slowest[k].map_or_else(|| "-".into(), |l| format!("p{l}")),
+                format!("{:.1}", balance[k].0),
+                format!("{:.1}", balance[k].1),
             ]
         })
         .collect();
@@ -128,12 +174,15 @@ fn main() {
         "bank_kappa",
         "bank_wait",
         "slowest",
+        "imb_pct",
+        "bwait_pct",
     ];
 
     println!("== explain — {algo}, p = {p}, n = {n}, backend = {} ==", machine.backend_name());
     println!(
         "(measured columns incl. bank_wait in {unit}; model columns are per-phase predicted \
-         communication in cycles; bank_kappa in 4-byte words)"
+         communication in cycles; bank_kappa in 4-byte words; imb_pct = per-processor compute \
+         spread (max-min)/max; bwait_pct = barrier wait share of p*elapsed)"
     );
     println!("{}", table(&headers, &rows));
     print!("{report}");

@@ -66,6 +66,7 @@ fn skewed_comm(p: usize, words: usize, layout: Layout) -> f64 {
 
 /// Run both ablations.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ablations", cfg);
     crate::backend::warn_sim_only("ablations");
     let words = if cfg.fast { 2_000 } else { 20_000 };
     let p = cfg.p;

@@ -113,6 +113,7 @@ fn closed_loop_ratios(accesses: usize) -> Vec<(Pattern, f64)> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ext_banks", cfg);
     crate::backend::warn_sim_only("ext_banks");
     let w = if cfg.fast { 64 } else { 256 };
     let accesses = if cfg.fast { 2_000 } else { 20_000 }; // fig7's counts

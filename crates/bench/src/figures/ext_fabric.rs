@@ -36,6 +36,7 @@ pub fn fabric_gaps(p: usize) -> Vec<Option<f64>> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ext_fabric", cfg);
     crate::backend::warn_sim_only("ext_fabric");
     let n = if cfg.fast { 1 << 14 } else { 1 << 17 };
     let input = gen::random_u32s(n, 0xFAB);

@@ -45,6 +45,7 @@ pub fn fault_seed() -> u64 {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ext_faults", cfg);
     crate::backend::warn_sim_only("ext_faults");
     let n = if cfg.fast { 1 << 14 } else { 1 << 17 };
     let input = gen::random_u32s(n, 0xFA17);

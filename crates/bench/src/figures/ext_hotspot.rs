@@ -55,6 +55,7 @@ fn measure(p: usize, hot: bool) -> f64 {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ext_hotspot", cfg);
     crate::backend::warn_sim_only("ext_hotspot");
     let ps: Vec<usize> = if cfg.fast { vec![2, 4, 8] } else { vec![2, 4, 8, 16] };
     // Rows are fully independent per machine size — each one is its

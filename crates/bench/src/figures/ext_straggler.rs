@@ -28,6 +28,7 @@ pub const FACTORS: [f64; 5] = [1.0, 1.5, 2.0, 4.0, 8.0];
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("ext_straggler", cfg);
     crate::backend::warn_sim_only("ext_straggler");
     let n = if cfg.fast { 1 << 14 } else { 1 << 17 };
     let input = gen::random_u32s(n, 0x57A6);

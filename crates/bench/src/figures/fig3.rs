@@ -23,6 +23,7 @@ pub fn run(cfg: &RunCfg) -> Report {
 /// the backend's time (converted to µs); the analysis lines (Best,
 /// WHP, estimates) are always in the paper machine's simulated µs.
 pub fn run_with(cfg: &RunCfg, backend: Backend) -> Report {
+    crate::journal::set_figure("fig3", cfg);
     let machine_cfg = MachineConfig::paper_default(cfg.p);
     let params = EffectiveParams::measure(machine_cfg);
 

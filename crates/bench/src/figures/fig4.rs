@@ -26,6 +26,7 @@ pub fn latencies(fast: bool) -> Vec<f64> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("fig4", cfg);
     crate::backend::warn_sim_only("fig4");
     // Prediction lines use the default machine's effective costs:
     // QSM does not model latency, so its lines must not move.

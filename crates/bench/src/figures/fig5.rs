@@ -30,6 +30,7 @@ pub fn crossovers(cfg: &RunCfg) -> Vec<(f64, Option<f64>)> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("fig5", cfg);
     crate::backend::warn_sim_only("fig5");
     let points = crossovers(cfg);
     let mut rows = Vec::new();

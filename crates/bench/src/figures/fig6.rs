@@ -35,6 +35,7 @@ pub fn crossovers(cfg: &RunCfg) -> Vec<(f64, Option<f64>)> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("fig6", cfg);
     crate::backend::warn_sim_only("fig6");
     let points = crossovers(cfg);
     let mut rows = Vec::new();

@@ -38,6 +38,7 @@ fn push_panel(
 /// microbenchmark loop; only the [`qsm_membank::BankBackend`]
 /// differs.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("fig7", cfg);
     let accesses = if cfg.fast { 2_000 } else { 20_000 };
     let mut rows = Vec::new();
     for m in platform::figure7_machines() {

@@ -22,6 +22,7 @@ pub const PAPER_L: f64 = 25_500.0;
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("table3", cfg);
     crate::backend::warn_sim_only("table3");
     let machine_cfg = MachineConfig::paper_default(16); // Table 3 is p=16
     let costs = EffectiveCosts::measure(machine_cfg);

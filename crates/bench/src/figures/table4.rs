@@ -56,6 +56,7 @@ pub fn fit_model(cfg: &RunCfg) -> Option<NminModel> {
 
 /// Run the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    crate::journal::set_figure("table4", cfg);
     crate::backend::warn_sim_only("table4");
     let model = fit_model(cfg);
     let paper_k: std::collections::HashMap<&str, f64> =

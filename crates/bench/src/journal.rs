@@ -1,0 +1,122 @@
+//! `QSM_RUN_LOG` — the structured per-point run journal.
+//!
+//! With `QSM_RUN_LOG=path.jsonl` set, the sweep executor appends one
+//! self-describing JSON record per completed measurement point —
+//! successful or failed — to the journal:
+//!
+//! ```json
+//! {"v":1,"kind":"sweep_point","figure":"fig1","backend":"sim",
+//!  "p":16,"reps":1,"fast":true,"point":3,"total":10,"jobs":4,
+//!  "duration_ms":12.345,"retries":0,"dropped_msgs":0,"status":"ok"}
+//! ```
+//!
+//! Each line is written and flushed atomically (see
+//! [`qsm_obs::RunJournal`]), so the journal can be tailed mid-sweep
+//! and is safe across process crashes — the substrate a resumable
+//! sweep executor can later treat as a work-claim ledger. Records
+//! carry `"v"` and `"kind"` so readers skip what they do not
+//! understand. Unlike the metrics dump, the journal is *not*
+//! byte-stable across `QSM_JOBS`: concurrent points complete (and
+//! log) in scheduling order, and durations are wall-clock. Every
+//! line is valid JSON in any order, which is what the CI smoke job
+//! checks.
+//!
+//! An unusable `QSM_RUN_LOG` value warns once with the offending
+//! value and disables journaling (the same discipline as
+//! `QSM_TRACE`/`QSM_METRICS`; see [`crate::obs`]).
+
+use std::sync::{Mutex, OnceLock};
+
+use qsm_obs::{json_escape, RunJournal};
+
+/// Figure/sweep context the next records are attributed to.
+#[derive(Debug, Clone)]
+struct SweepCtx {
+    figure: &'static str,
+    p: usize,
+    reps: usize,
+    fast: bool,
+}
+
+static CTX: Mutex<Option<SweepCtx>> = Mutex::new(None);
+static JOURNAL: OnceLock<Option<RunJournal>> = OnceLock::new();
+
+fn journal() -> Option<&'static RunJournal> {
+    JOURNAL
+        .get_or_init(|| {
+            let path = crate::obs::checked_path("QSM_RUN_LOG", "run journal")?;
+            match RunJournal::open(&path) {
+                Ok(j) => Some(j),
+                Err(e) => {
+                    // `checked_path` probed writability, so this is a
+                    // race (e.g. the directory vanished); same loud
+                    // degradation.
+                    eprintln!(
+                        "warning: ignoring unusable QSM_RUN_LOG={:?} ({e}); \
+                         run journal disabled",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// Whether a journal is active (decides if the sweep executor pays
+/// for per-point timing and tally snapshots).
+pub(crate) fn active() -> bool {
+    journal().is_some()
+}
+
+/// Attribute subsequent sweep points to `figure` under `cfg`. Each
+/// figure's entry point calls this before running its sweeps; a
+/// binary running several figures (`all`) just re-points the context.
+pub fn set_figure(figure: &'static str, cfg: &crate::RunCfg) {
+    let mut ctx = CTX.lock().unwrap_or_else(|e| e.into_inner());
+    *ctx = Some(SweepCtx { figure, p: cfg.p, reps: cfg.reps, fast: cfg.fast });
+}
+
+/// One completed sweep point, reported by the executor.
+pub(crate) struct PointRecord<'a> {
+    pub index: usize,
+    pub total: usize,
+    pub jobs: usize,
+    pub duration_ms: f64,
+    pub retries: u64,
+    pub dropped_msgs: u64,
+    /// Panic message of a failed point; `None` means success.
+    pub error: Option<&'a str>,
+}
+
+/// Append `rec` to the journal (no-op when inactive).
+pub(crate) fn record_point(rec: &PointRecord<'_>) {
+    let Some(journal) = journal() else { return };
+    let ctx = CTX.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let (figure, p, reps, fast) = match &ctx {
+        Some(c) => (c.figure, c.p, c.reps, c.fast),
+        None => ("?", 0, 0, false),
+    };
+    let mut line = format!(
+        "{{\"v\":1,\"kind\":\"sweep_point\",\"figure\":\"{}\",\"backend\":\"{}\",\
+         \"p\":{p},\"reps\":{reps},\"fast\":{fast},\"point\":{},\"total\":{},\"jobs\":{},\
+         \"duration_ms\":{:.3},\"retries\":{},\"dropped_msgs\":{}",
+        json_escape(figure),
+        crate::backend::Backend::from_env().name(),
+        rec.index,
+        rec.total,
+        rec.jobs,
+        rec.duration_ms,
+        rec.retries,
+        rec.dropped_msgs,
+    );
+    match rec.error {
+        None => line.push_str(",\"status\":\"ok\"}"),
+        Some(msg) => {
+            line.push_str(&format!(",\"status\":\"failed\",\"error\":\"{}\"}}", json_escape(msg)));
+        }
+    }
+    if let Err(e) = journal.append(&line) {
+        eprintln!("warning: cannot append to QSM_RUN_LOG: {e}");
+    }
+}

@@ -30,15 +30,18 @@
 //!
 //! Observability knobs (see [`obs`]): `QSM_TRACE=path.json` captures
 //! a Perfetto trace of the run, `QSM_METRICS=path.json` dumps the
-//! run-wide metrics registry (byte-stable across `QSM_JOBS`), and
-//! `QSM_PROGRESS=1` reports per-point sweep durations on stderr. The
-//! `explain` binary prints a phase-by-phase measured-vs-predicted
-//! breakdown for one algorithm configuration.
+//! run-wide metrics registry (byte-stable across `QSM_JOBS`),
+//! `QSM_PROGRESS=1` reports per-point sweep durations (with a running
+//! ETA) on stderr, and `QSM_RUN_LOG=path.jsonl` appends one
+//! structured JSON record per completed sweep point to a run journal
+//! (see [`journal`]). The `explain` binary prints a phase-by-phase
+//! measured-vs-predicted breakdown for one algorithm configuration.
 
 #![deny(missing_docs)]
 
 pub mod backend;
 pub mod figures;
+pub mod journal;
 pub mod obs;
 pub mod output;
 pub mod stats;

@@ -15,6 +15,11 @@
 //!   `path.json` on finalize. Metrics are commutative, so the dump is
 //!   byte-identical for every `QSM_JOBS` value.
 //!
+//! Unusable knob values — an unwritable or uncreatable path — are
+//! rejected up front with a one-time warning naming the offending
+//! value (the `parse_usize_knob` discipline), rather than silently
+//! losing the capture at finalize time.
+//!
 //! The recorder is installed into the process-global slot read by
 //! every [`qsm_core::Machine`] backend ([`qsm_core::obs::install`]
 //! is first-call-wins), so no plumbing through figure code is
@@ -22,6 +27,7 @@
 //! time unit (simulated cycles or host nanoseconds).
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use qsm_core::obs::{self, ObsData, ObsLevel, Recorder};
 
@@ -37,6 +43,35 @@ fn env_path(name: &str) -> Option<PathBuf> {
     std::env::var_os(name).filter(|v| !v.is_empty()).map(PathBuf::from)
 }
 
+/// Knob names already warned about (same once-per-process discipline
+/// as `parse_usize_knob`: a sweep must not repeat the warning per
+/// point, but silent capture loss is worse than noise).
+static WARNED_PATH_KNOBS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Read a path-valued knob and probe it for writability (open for
+/// appending, creating if absent). An unusable value — say a
+/// directory that does not exist — warns once with the offending
+/// value and disables that capture (`None`), instead of failing
+/// silently at finalize time after the measurement was already spent.
+pub(crate) fn checked_path(name: &'static str, what: &str) -> Option<PathBuf> {
+    let path = env_path(name)?;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(_) => Some(path),
+        Err(e) => {
+            let mut warned = WARNED_PATH_KNOBS.lock().unwrap_or_else(|p| p.into_inner());
+            if !warned.contains(&name) {
+                warned.push(name);
+                eprintln!(
+                    "warning: ignoring unusable {name}={:?} (cannot open for writing: {e}); \
+                     {what} capture disabled",
+                    path.display()
+                );
+            }
+            None
+        }
+    }
+}
+
 impl ObsSink {
     /// Read `QSM_TRACE` / `QSM_METRICS` and install a recorder of the
     /// matching level (or none). Call once, at binary start.
@@ -49,8 +84,8 @@ impl ObsSink {
     /// `explain`, whose phase table needs Full-level spans regardless
     /// of whether a trace file was asked for.
     pub fn with_level(floor: Option<ObsLevel>) -> Self {
-        let trace = env_path("QSM_TRACE");
-        let metrics = env_path("QSM_METRICS");
+        let trace = checked_path("QSM_TRACE", "trace");
+        let metrics = checked_path("QSM_METRICS", "metrics");
         let level = if trace.is_some() || floor == Some(ObsLevel::Full) {
             Some(ObsLevel::Full)
         } else if metrics.is_some() || floor.is_some() {
@@ -126,5 +161,26 @@ mod tests {
             assert!(!sink.recorder().is_enabled());
             sink.finalize(); // no-op, must not panic
         }
+    }
+
+    // These use dedicated env var names no other test touches, so
+    // the env-mutation race above does not apply.
+    #[test]
+    fn unusable_path_knob_is_rejected_loudly_but_once() {
+        std::env::set_var("QSM_TEST_BAD_SINK", "/nonexistent-dir/out.json");
+        assert!(checked_path("QSM_TEST_BAD_SINK", "test").is_none());
+        // Still rejected on re-read; the warning itself is deduped
+        // via the once-per-knob registry.
+        assert!(checked_path("QSM_TEST_BAD_SINK", "test").is_none());
+        std::env::remove_var("QSM_TEST_BAD_SINK");
+    }
+
+    #[test]
+    fn writable_path_knob_passes_the_probe() {
+        let path = std::env::temp_dir().join(format!("qsm-obs-probe-{}.json", std::process::id()));
+        std::env::set_var("QSM_TEST_GOOD_SINK", &path);
+        assert_eq!(checked_path("QSM_TEST_GOOD_SINK", "test"), Some(path.clone()));
+        std::env::remove_var("QSM_TEST_GOOD_SINK");
+        let _ = std::fs::remove_file(&path);
     }
 }

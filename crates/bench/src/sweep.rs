@@ -27,13 +27,20 @@
 //! degradation path, used by the CI smoke job).
 //!
 //! With `QSM_PROGRESS=1` each completed point reports its wall-clock
-//! duration and the sweep's running completion count on stderr —
-//! stdout (tables) and the CSV artifacts are untouched, so progress
-//! output never perturbs the deterministic results.
+//! duration, the sweep's running completion count, and an ETA
+//! extrapolated from the mean duration of the points completed so far
+//! (divided by the worker count, since that many points run at once)
+//! on stderr — stdout (tables) and the CSV artifacts are untouched,
+//! so progress output never perturbs the deterministic results.
+//!
+//! With `QSM_RUN_LOG=path.jsonl` (see [`crate::journal`]) the
+//! executor additionally appends one structured record per completed
+//! point — duration, per-point fault-tally deltas, and ok/failed
+//! status — to the run journal.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -55,26 +62,38 @@ pub fn jobs(p_sim: usize) -> usize {
 struct Progress {
     enabled: bool,
     total: usize,
+    /// Worker-pool size, for ETA extrapolation: `workers` points
+    /// complete concurrently, so the remaining wall time is roughly
+    /// `avg_point_ms * remaining / workers`.
+    workers: usize,
     done: AtomicUsize,
+    /// Sum of completed-point durations, in microseconds.
+    spent_us: AtomicU64,
 }
 
 impl Progress {
-    fn new(total: usize) -> Self {
+    fn new(total: usize, workers: usize) -> Self {
         let enabled = std::env::var("QSM_PROGRESS").map(|v| v != "0").unwrap_or(false);
-        Self { enabled, total, done: AtomicUsize::new(0) }
+        Self { enabled, total, workers, done: AtomicUsize::new(0), spent_us: AtomicU64::new(0) }
     }
 
-    /// Time `f` on point `i` and report its completion.
-    fn time<T>(&self, i: usize, f: impl FnOnce() -> T) -> T {
-        if !self.enabled {
-            return f();
-        }
-        let start = Instant::now();
-        let out = f();
-        let ms = start.elapsed().as_secs_f64() * 1e3;
+    /// Report point `i`'s completion (taking `ms`) with a running ETA
+    /// extrapolated from the mean duration of the completed points.
+    fn note(&self, i: usize, ms: f64) {
+        let add_us = (ms * 1e3) as u64;
+        let spent_us = self.spent_us.fetch_add(add_us, Ordering::Relaxed) + add_us;
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        eprintln!("[sweep {done}/{}] point {i} finished in {ms:.1} ms", self.total);
-        out
+        let remaining = self.total.saturating_sub(done);
+        if remaining == 0 {
+            eprintln!("[sweep {done}/{}] point {i} finished in {ms:.1} ms", self.total);
+        } else {
+            let avg_ms = spent_us as f64 / 1e3 / done as f64;
+            let eta_s = avg_ms * remaining as f64 / self.workers.max(1) as f64 / 1e3;
+            eprintln!(
+                "[sweep {done}/{}] point {i} finished in {ms:.1} ms (eta {eta_s:.1} s)",
+                self.total
+            );
+        }
     }
 }
 
@@ -147,11 +166,38 @@ where
 {
     let n = items.len();
     let workers = jobs(p_sim).min(n.max(1));
-    let progress = Progress::new(n);
-    let run_point = |i: usize, item: I| {
-        catch_unwind(AssertUnwindSafe(|| progress.time(i, || f(i, item))))
-            .map_err(|payload| PointPanic { index: i, message: panic_message(&payload), payload })
-    };
+    let progress = Progress::new(n, workers);
+    let journal_on = crate::journal::active();
+    let run_point =
+        |i: usize, item: I| {
+            // Timing and tally snapshots only when someone consumes them
+            // (`QSM_PROGRESS` or `QSM_RUN_LOG`); the default path stays a
+            // bare catch_unwind around `f`.
+            let start = (progress.enabled || journal_on).then(Instant::now);
+            let tally0 = journal_on.then(qsm_core::tally::snapshot);
+            let result = catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
+                PointPanic { index: i, message: panic_message(&payload), payload }
+            });
+            let ms = start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
+            if progress.enabled {
+                progress.note(i, ms);
+            }
+            if let Some((r0, d0)) = tally0 {
+                // The point ran entirely on this thread, so the calling
+                // thread's tally delta is exactly this point's fault count.
+                let (r1, d1) = qsm_core::tally::snapshot();
+                crate::journal::record_point(&crate::journal::PointRecord {
+                    index: i,
+                    total: n,
+                    jobs: workers,
+                    duration_ms: ms,
+                    retries: r1.wrapping_sub(r0),
+                    dropped_msgs: d1.wrapping_sub(d0),
+                    error: result.as_ref().err().map(|p| p.message.as_str()),
+                });
+            }
+            result
+        };
     if workers <= 1 {
         return items.into_iter().enumerate().map(|(i, item)| run_point(i, item)).collect();
     }

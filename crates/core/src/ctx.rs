@@ -145,6 +145,9 @@ pub struct Ctx {
     pub(crate) raw_pool: Vec<Vec<u64>>,
     rng: SmallRng,
     pub(crate) runtime: Runtime,
+    /// Per-worker span capture for the SPMD path; `None` (the
+    /// default, and always on the channel path) means no capture.
+    pub(crate) spmd_obs: Option<Box<crate::spmd::SpmdObs>>,
 }
 
 impl Ctx {
@@ -164,6 +167,7 @@ impl Ctx {
             raw_pool: Vec::new(),
             rng: SmallRng::seed_from_u64(seed ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             runtime,
+            spmd_obs: None,
         }
     }
 

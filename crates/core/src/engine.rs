@@ -106,13 +106,24 @@ where
     let p = machine.nprocs();
     let rec = crate::obs::recorder();
     let mut driver = Driver::new(p, machine.check_conflicts(), rec.clone());
-    let timer: Box<dyn PhaseTimer> = Box::new(machine.make_timer(rec.clone()));
+    let mut timer: Box<dyn PhaseTimer> = Box::new(machine.make_timer(rec.clone()));
     driver.begin_run(timer.as_ref());
-    let area = crate::spmd::ExchangeArea::new(p, driver, timer);
+    // Full-level capture: a timer that opts in (the wall-clock one)
+    // hands over its epoch and the workers emit their own per-lane
+    // spans against it (compute / barrier legs / serve / apply plus
+    // the leader's plan and price stages).
+    let obs = if rec.is_full() {
+        timer.spmd_span_epoch().map(|epoch| {
+            rec.set_nprocs(p);
+            crate::spmd::RunObs { rec: rec.clone(), epoch }
+        })
+    } else {
+        None
+    };
+    let area = crate::spmd::ExchangeArea::new(p, driver, timer, obs);
     let outputs: Vec<Mutex<Option<R>>> = (0..p).map(|_| Mutex::new(None)).collect();
     let seed = machine.seed();
     let program = &program;
-    let spawned_before = crate::pool::spawned_workers();
 
     {
         let area = &area;
@@ -143,11 +154,32 @@ where
             }
             crate::spmd::exit_rendezvous(area);
         };
-        crate::pool::execute(p, &job);
+        let stats = crate::pool::execute(p, &job);
+
+        if rec.is_enabled() {
+            // Pool placement telemetry. All deterministic for a given
+            // environment (the pool always grows to min(p, QSM_POOL)
+            // residents before placing, and spawns are attributed to
+            // runs under the pool lock), so metrics-level dumps stay
+            // byte-stable across QSM_JOBS.
+            rec.add("pool_spawns", stats.spawned);
+            rec.add("spmd_runs", 1);
+            rec.add("pool_resident_jobs", stats.resident as u64);
+            if stats.overflow > 0 {
+                rec.add("pool_overflow_jobs", stats.overflow as u64);
+            }
+            if crate::pool::pinning_requested() {
+                rec.add("pool_pinned_runs", 1);
+            }
+        }
     }
 
-    if rec.is_enabled() {
-        rec.add("pool_spawns", crate::pool::spawned_workers() - spawned_before);
+    if rec.is_full() {
+        // Barrier backoff escalations are scheduling-dependent, so
+        // they are full-level only (single-run captures).
+        let (yields, sleeps) = area.barrier_transitions();
+        rec.add("spmd_barrier_yield_transitions", yields);
+        rec.add("spmd_barrier_sleep_transitions", sleeps);
     }
     let (phases, panic) = area.into_results();
     if let Some(payload) = panic {
@@ -165,6 +197,12 @@ where
 /// Backend-agnostic tail of every run: profile + cost report.
 fn assemble<M: Machine, R>(machine: &M, outputs: Vec<R>, phases: Vec<PhaseRecord>) -> RunResult<R> {
     let profile = ProgramProfile { phases: phases.iter().map(|r| r.profile).collect() };
+    // Fold fault totals into the calling thread's tally (always runs
+    // on the thread that called `Machine::run` on both paths, which
+    // is what lets the bench sweep scope per-point deltas).
+    let (retries, drops) =
+        phases.iter().fold((0u64, 0u64), |(r, d), ph| (r + ph.retries, d + ph.dropped_msgs));
+    crate::tally::note_run(retries, drops);
     let report = machine.make_report(&phases);
     RunResult { outputs, phases, profile, report }
 }

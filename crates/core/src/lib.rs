@@ -74,6 +74,7 @@ pub mod sim_runtime;
 mod sim_timer;
 #[allow(unsafe_code)]
 mod spmd;
+pub mod tally;
 pub mod thread_runtime;
 pub mod word;
 

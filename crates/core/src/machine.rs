@@ -68,6 +68,18 @@ pub trait PhaseTimer: Send {
     fn bank_wait(&self) -> Cycles {
         Cycles::ZERO
     }
+
+    /// Opt in to SPMD per-worker span capture. The engine calls this
+    /// once per SPMD run when full-level observability is on; a timer
+    /// that returns the run's epoch instant takes over the timeline
+    /// (workers then emit their own compute / barrier / serve / apply
+    /// spans against it, and the timer must stop emitting its
+    /// coarser per-processor spans to avoid double-covering lanes).
+    /// The default — and the simulated backend's behavior — is `None`:
+    /// no worker-side capture.
+    fn spmd_span_epoch(&mut self) -> Option<Instant> {
+        None
+    }
 }
 
 /// A QSM execution backend.
@@ -266,6 +278,13 @@ impl PhaseTimer for AnyTimer {
         match &self.0 {
             AnyTimerInner::Sim(t) => t.bank_wait(),
             AnyTimerInner::Wall(t) => t.bank_wait(),
+        }
+    }
+
+    fn spmd_span_epoch(&mut self) -> Option<Instant> {
+        match &mut self.0 {
+            AnyTimerInner::Sim(t) => t.spmd_span_epoch(),
+            AnyTimerInner::Wall(t) => t.spmd_span_epoch(),
         }
     }
 }

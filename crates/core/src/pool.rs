@@ -75,6 +75,13 @@ fn pinning() -> bool {
     *PIN.get_or_init(|| knob::env_usize("QSM_PIN").is_some_and(|v| v != 0))
 }
 
+/// Whether `QSM_PIN` requested core affinity for this process (the
+/// engine reports it as run telemetry; whether pinning *succeeded* is
+/// only knowable per-worker and is warned about separately).
+pub(crate) fn pinning_requested() -> bool {
+    pinning()
+}
+
 /// Logical host cores (1 when undetectable).
 pub fn host_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -171,6 +178,24 @@ fn spawn_resident(idx: usize) -> Sender<Job> {
     tx
 }
 
+/// How one `execute` call placed its jobs: `resident + overflow == p`.
+/// Deterministic for a given environment — the growth loop always
+/// brings the pool to `min(p, QSM_POOL)` residents before placing —
+/// so these are safe to surface as metrics-level telemetry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecStats {
+    /// Jobs placed on resident (reused) pool workers.
+    pub(crate) resident: usize,
+    /// Jobs placed on per-call overflow threads.
+    pub(crate) overflow: usize,
+    /// Worker threads spawned by this call (pool growth + overflow).
+    /// Counted under the pool lock — unlike a delta of the global
+    /// [`spawned_workers`] counter, concurrent `execute` calls can
+    /// never attribute one spawn to two runs, so per-run sums stay
+    /// identical for every caller interleaving.
+    pub(crate) spawned: u64,
+}
+
 /// Run `job(proc)` for every `proc` in `0..p`, each invocation on its
 /// own worker thread, and return once all `p` invocations completed.
 ///
@@ -178,15 +203,18 @@ fn spawn_resident(idx: usize) -> Sender<Job> {
 /// (spawned on first use, reused ever after); any remainder runs on
 /// per-call overflow threads. If any job panicked, the first payload
 /// (by completion order) is re-raised after all jobs finished.
-pub(crate) fn execute(p: usize, job: &(dyn Fn(usize) + Sync)) {
+/// Returns how the jobs were placed.
+pub(crate) fn execute(p: usize, job: &(dyn Fn(usize) + Sync)) -> ExecStats {
     let pool = POOL.get_or_init(|| Mutex::new(PoolState { workers: Vec::new() }));
     // Held for the entire call — see the module doc on serialization.
     let mut state = pool.lock().unwrap_or_else(|e| e.into_inner());
     let resident_target = p.min(pool_cap());
+    let mut grown = 0u64;
     while state.workers.len() < resident_target {
         let idx = state.workers.len();
         let tx = spawn_resident(idx);
         state.workers.push(tx);
+        grown += 1;
     }
     // SAFETY: the erased job reference is used only by resident
     // workers (until their done-signal below) and overflow scope
@@ -222,6 +250,11 @@ pub(crate) fn execute(p: usize, job: &(dyn Fn(usize) + Sync)) {
     if let Some(payload) = first_panic {
         std::panic::resume_unwind(payload);
     }
+    ExecStats {
+        resident: resident_used,
+        overflow: p - resident_used,
+        spawned: grown + (p - resident_used) as u64,
+    }
 }
 
 #[cfg(test)]
@@ -235,10 +268,11 @@ mod tests {
         let job = |proc: usize| {
             hits[proc].fetch_add(1, Ordering::SeqCst);
         };
-        execute(8, &job);
+        let stats = execute(8, &job);
         for h in &hits {
             assert_eq!(h.load(Ordering::SeqCst), 1);
         }
+        assert_eq!(stats.resident + stats.overflow, 8, "every job placed exactly once");
     }
 
     #[test]

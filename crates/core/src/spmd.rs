@@ -56,9 +56,12 @@
 //! the first real payload.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use qsm_obs::{Recorder, Span, SpanKind};
+use qsm_simnet::Cycles;
 
 use crate::addr::{block_range, for_each_owner_run, ArrayId, Layout};
 use crate::ctx::{Ctx, Runtime};
@@ -94,20 +97,33 @@ fn backoff(spins: &mut u32) {
 /// counter). `wait()` returns whether the barrier is poisoned;
 /// poisoned barriers release all current and future waiters
 /// immediately, which is how a panicking worker unblocks its peers.
+///
+/// With `track` on, every wait that escalated past pure spinning
+/// bumps one of two relaxed telemetry counters (its deepest backoff
+/// state: yield or sleep) — cheap enough to leave in the wait path,
+/// but only requested when full-level observability is capturing.
 struct SpinBarrier {
     p: usize,
     count: AtomicUsize,
     gen: AtomicUsize,
     poisoned: AtomicBool,
+    track: bool,
+    /// Waits whose deepest backoff was `yield_now` (spun ≥ 64).
+    yields: AtomicU64,
+    /// Waits that escalated all the way to sleeping (spun ≥ 256).
+    sleeps: AtomicU64,
 }
 
 impl SpinBarrier {
-    fn new(p: usize) -> Self {
+    fn new(p: usize, track: bool) -> Self {
         Self {
             p,
             count: AtomicUsize::new(0),
             gen: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
+            track,
+            yields: AtomicU64::new(0),
+            sleeps: AtomicU64::new(0),
         }
     }
 
@@ -142,8 +158,21 @@ impl SpinBarrier {
                 }
                 backoff(&mut spins);
             }
+            if self.track {
+                if spins >= 256 {
+                    self.sleeps.fetch_add(1, Ordering::Relaxed);
+                } else if spins >= 64 {
+                    self.yields.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             self.is_poisoned()
         }
+    }
+
+    /// `(yield, sleep)` escalation counts accumulated so far (always
+    /// zero unless tracking was requested at construction).
+    fn transitions(&self) -> (u64, u64) {
+        (self.yields.load(Ordering::Relaxed), self.sleeps.load(Ordering::Relaxed))
     }
 }
 
@@ -208,6 +237,78 @@ impl PhaseInput for Slot {
     }
 }
 
+/// Run-level observability handle for the SPMD path: the shared
+/// recorder plus the timer's epoch instant every worker-side span
+/// timestamp is measured from (so worker lanes and the leader's
+/// machine track share one timeline). Created by the engine only
+/// when full-level capture is on.
+pub(crate) struct RunObs {
+    pub(crate) rec: Recorder,
+    pub(crate) epoch: Instant,
+}
+
+/// One worker's span capture across an SPMD run. Spans are buffered
+/// locally and flushed to the recorder at the exit epilogue — after
+/// every phase has been priced — so capture never perturbs measured
+/// timing (the "spans after measurement" discipline).
+pub(crate) struct SpmdObs {
+    rec: Recorder,
+    epoch: Instant,
+    /// End of the previous stage = start of the next span:
+    /// consecutive spans share boundary instants, so each worker's
+    /// lane tiles exactly with no gaps or overlap.
+    cursor: Instant,
+    spans: Vec<Span>,
+}
+
+impl SpmdObs {
+    fn new(obs: &RunObs) -> Self {
+        Self { rec: obs.rec.clone(), epoch: obs.epoch, cursor: obs.epoch, spans: Vec::new() }
+    }
+
+    fn ns(&self, t: Instant) -> Cycles {
+        Cycles::new(t.saturating_duration_since(self.epoch).as_nanos() as f64)
+    }
+
+    /// Close the span that started at the cursor and advance it:
+    /// the stage `kind` of `phase` on worker lane `lane` ran from the
+    /// previous mark to now.
+    fn mark(&mut self, kind: SpanKind, phase: u64, lane: u32) {
+        let now = Instant::now();
+        let start = self.ns(self.cursor);
+        self.spans.push(Span { kind, phase, lane, start, dur: self.ns(now) - start });
+        self.cursor = now;
+    }
+
+    /// Flush the buffered spans and the per-worker roll-ups (barrier
+    /// leg waits, busy/wait totals, utilization) into the recorder.
+    fn flush(mut self) {
+        let mut busy = 0.0f64;
+        let mut wait = 0.0f64;
+        for s in &self.spans {
+            if s.kind == SpanKind::BarrierWait {
+                wait += s.dur.get();
+            } else {
+                busy += s.dur.get();
+            }
+        }
+        self.rec.observe_iter(
+            "barrier_wait_ns",
+            self.spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::BarrierWait)
+                .map(|s| s.dur.get() as u64),
+        );
+        let total = busy + wait;
+        if total > 0.0 {
+            self.rec.observe("spmd_worker_util_pct", (busy * 100.0 / total + 0.5) as u64);
+        }
+        self.rec.add("spmd_busy_ns", busy as u64);
+        self.rec.add("spmd_wait_ns", wait as u64);
+        self.rec.spans(self.spans.drain(..));
+    }
+}
+
 /// Phase-pipeline state owned by worker 0 (the leader): the shared
 /// metering/pricing driver, the backend timer, and the growing record
 /// stream.
@@ -232,6 +333,9 @@ pub(crate) struct ExchangeArea {
     /// Real panic payloads, stashed by the engine's worker wrapper.
     panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>>,
     leader: UnsafeCell<LeaderState>,
+    /// Full-level capture handle; workers clone per-lane span buffers
+    /// off it in `make_ctx`. `None` keeps the whole path span-free.
+    obs: Option<RunObs>,
 }
 
 // SAFETY: Slot access follows the single-writer barrier protocol
@@ -240,16 +344,28 @@ pub(crate) struct ExchangeArea {
 unsafe impl Sync for ExchangeArea {}
 
 impl ExchangeArea {
-    pub(crate) fn new(p: usize, driver: Driver, timer: Box<dyn PhaseTimer>) -> Self {
+    pub(crate) fn new(
+        p: usize,
+        driver: Driver,
+        timer: Box<dyn PhaseTimer>,
+        obs: Option<RunObs>,
+    ) -> Self {
         let mk = || (0..p).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice();
         Self {
             p,
             slots: [mk(), mk()],
-            barrier: SpinBarrier::new(p),
+            barrier: SpinBarrier::new(p, obs.is_some()),
             exited: AtomicUsize::new(0),
             panics: Mutex::new(Vec::new()),
             leader: UnsafeCell::new(LeaderState { driver, timer, records: Vec::new(), plan: None }),
+            obs,
         }
+    }
+
+    /// `(yield, sleep)` backoff escalations the barrier accumulated
+    /// over the run (zero unless capture was on).
+    pub(crate) fn barrier_transitions(&self) -> (u64, u64) {
+        self.barrier.transitions()
     }
 
     /// Release all workers blocked (now or later) on the barrier;
@@ -281,9 +397,14 @@ pub(crate) struct SpmdLink {
     area: *const ExchangeArea,
 }
 
-/// Build the per-processor context for one SPMD worker.
+/// Build the per-processor context for one SPMD worker (attaching a
+/// span buffer when the run captures at full level).
 pub(crate) fn make_ctx(proc: usize, nprocs: usize, seed: u64, area: &ExchangeArea) -> Ctx {
-    Ctx::new_spmd(proc, nprocs, seed, SpmdLink { area })
+    let mut ctx = Ctx::new_spmd(proc, nprocs, seed, SpmdLink { area });
+    if let Some(obs) = &area.obs {
+        ctx.spmd_obs = Some(Box::new(SpmdObs::new(obs)));
+    }
+    ctx
 }
 
 /// Count this worker out and wait until every worker did; after this
@@ -455,12 +576,29 @@ fn leader_finish(area: &ExchangeArea, parity: usize) {
 
 /// One SPMD `sync()`: the publish / B1 / plan+serve / B2 / apply
 /// pipeline described on the module.
+///
+/// When span capture is on (`ctx.spmd_obs`), each stage boundary is
+/// marked into the worker's lane buffer: compute (ending at publish),
+/// the B1 wait, the leader's plan, serving gets, the B2 wait,
+/// applying puts, and the leader's price/record tail. Marks append to
+/// a local `Vec` — nothing is flushed (or locked) until the exit
+/// epilogue, after all measurement.
 pub(crate) fn sync_phase(ctx: &mut Ctx) {
     let area = area_of(ctx);
     let parity = (ctx.phase & 1) as usize;
+    // Taken (not borrowed) so marking cannot alias the &mut ctx the
+    // pipeline stages need; restored before returning.
+    let mut obs = ctx.spmd_obs.take();
+    let (phase, lane) = (ctx.phase, ctx.proc as u32);
     publish(ctx, area, parity, STATE_SYNCED);
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::Compute, phase, lane);
+    }
     if area.barrier.wait() {
         aborted();
+    }
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::BarrierWait, phase, lane);
     }
     let finished = count_finished(area, parity);
     if finished > 0 {
@@ -468,31 +606,59 @@ pub(crate) fn sync_phase(ctx: &mut Ctx) {
     }
     if ctx.proc == 0 {
         leader_plan(area, parity);
+        if let Some(o) = obs.as_deref_mut() {
+            o.mark(SpanKind::LeaderPlan, phase, lane);
+        }
     }
     serve_own_gets(ctx, area, parity);
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::ServeGets, phase, lane);
+    }
     if area.barrier.wait() {
         aborted();
     }
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::BarrierWait, phase, lane);
+    }
     apply_exchange(ctx, area, parity);
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::ApplyPuts, phase, lane);
+    }
     if ctx.proc == 0 {
         leader_finish(area, parity);
+        if let Some(o) = obs.as_deref_mut() {
+            o.mark(SpanKind::LeaderPrice, phase, lane);
+        }
     }
+    ctx.spmd_obs = obs;
     ctx.phase += 1;
 }
 
 /// SPMD teardown: publish `FINISHED` and rendezvous one last time so
 /// a mismatched `sync()` elsewhere is diagnosed as a collective
-/// violation (every worker must return together).
+/// violation (every worker must return together). With capture on,
+/// the final compute leg and rendezvous wait are marked, then the
+/// worker's whole span buffer is flushed — every phase has been
+/// priced by now, so recorder locking cannot perturb measurement.
 pub(crate) fn epilogue(ctx: &mut Ctx) {
     let area = area_of(ctx);
     let parity = (ctx.phase & 1) as usize;
+    let mut obs = ctx.spmd_obs.take();
+    let (phase, lane) = (ctx.phase, ctx.proc as u32);
     publish(ctx, area, parity, STATE_FINISHED);
+    if let Some(o) = obs.as_deref_mut() {
+        o.mark(SpanKind::Compute, phase, lane);
+    }
     if area.barrier.wait() {
         aborted();
     }
     let finished = count_finished(area, parity);
     if finished < area.p {
         collective_violation(finished, area.p);
+    }
+    if let Some(mut o) = obs {
+        o.mark(SpanKind::BarrierWait, phase, lane);
+        o.flush();
     }
 }
 
@@ -502,7 +668,7 @@ mod tests {
 
     #[test]
     fn spin_barrier_synchronizes_and_reuses() {
-        let barrier = SpinBarrier::new(4);
+        let barrier = SpinBarrier::new(4, false);
         let counter = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for _ in 0..4 {
@@ -521,7 +687,7 @@ mod tests {
 
     #[test]
     fn poisoned_barrier_releases_waiters() {
-        let barrier = SpinBarrier::new(2);
+        let barrier = SpinBarrier::new(2, false);
         crossbeam::thread::scope(|scope| {
             let waiter = scope.spawn(|_| barrier.wait());
             barrier.poison();
@@ -529,5 +695,33 @@ mod tests {
         })
         .unwrap();
         assert!(barrier.wait(), "poisoned barriers release immediately");
+    }
+
+    #[test]
+    fn tracked_barrier_counts_backoff_escalations() {
+        // Untracked barriers never count, whatever the contention.
+        let quiet = SpinBarrier::new(2, false);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                std::thread::sleep(Duration::from_millis(5));
+                quiet.wait()
+            });
+            quiet.wait();
+        })
+        .unwrap();
+        assert_eq!(quiet.transitions(), (0, 0));
+        // A tracked waiter stuck for milliseconds escalates past the
+        // 64-spin threshold and records its deepest backoff state.
+        let tracked = SpinBarrier::new(2, true);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                std::thread::sleep(Duration::from_millis(5));
+                tracked.wait()
+            });
+            tracked.wait();
+        })
+        .unwrap();
+        let (yields, sleeps) = tracked.transitions();
+        assert!(yields + sleeps >= 1, "a millisecond wait must escalate: {yields}/{sleeps}");
     }
 }

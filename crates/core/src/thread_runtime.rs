@@ -49,6 +49,14 @@ pub struct WallTimer {
     /// also runs on the native backend. Wall-clock timing itself is
     /// never adjusted — real hardware queues for real.
     banks: Option<qsm_simnet::BankModel>,
+    /// Set when the SPMD engine takes over per-worker span capture
+    /// (`spmd_span_epoch`): the workers then emit fine-grained lane
+    /// spans themselves and this timer's coarser per-processor
+    /// compute/barrier spans would double-cover the same lanes.
+    suppress_proc_spans: bool,
+    /// Scratch for batching message-size observations under one
+    /// recorder lock (reused across phases).
+    msg_sizes: Vec<u64>,
 }
 
 impl WallTimer {
@@ -56,7 +64,15 @@ impl WallTimer {
     /// the recorder captures at full level). Time zero is "now".
     pub fn with_recorder(rec: Recorder) -> Self {
         let now = Instant::now();
-        Self { run_start: now, last_release: now, rec, phase_idx: 0, banks: None }
+        Self {
+            run_start: now,
+            last_release: now,
+            rec,
+            phase_idx: 0,
+            banks: None,
+            suppress_proc_spans: false,
+            msg_sizes: Vec::new(),
+        }
     }
 
     /// Report `banks` to the driver as this machine's bank model.
@@ -75,7 +91,7 @@ impl PhaseTimer for WallTimer {
     fn price(
         &mut self,
         _charged: &[u64],
-        _matrix: &CommMatrix,
+        matrix: &CommMatrix,
         arrivals: &[Instant],
     ) -> PhaseTiming {
         // Called by the driver after all workers arrived and data has
@@ -91,7 +107,27 @@ impl PhaseTimer for WallTimer {
             .fold(0.0, f64::max)
             .min(elapsed);
 
-        if self.rec.is_full() && !arrivals.is_empty() {
+        if self.rec.is_enabled() && !matrix.is_empty() {
+            // Message sizes as the SPMD exchange moves them: one put
+            // payload and one get reply per (src, dst) pair with
+            // traffic. Metered from the deterministic `CommMatrix`,
+            // so the histogram is byte-stable across job counts
+            // (granularity differs from the simulated backend, which
+            // records per wire message including headers).
+            self.msg_sizes.clear();
+            let sizes = &mut self.msg_sizes;
+            matrix.for_each_dirty(|_src, _dst, t| {
+                if t.put_payload_bytes > 0 {
+                    sizes.push(t.put_payload_bytes);
+                }
+                if t.get_reply_payload_bytes > 0 {
+                    sizes.push(t.get_reply_payload_bytes);
+                }
+            });
+            self.rec.observe_iter("msg_size_bytes", self.msg_sizes.drain(..));
+        }
+
+        if self.rec.is_full() && !self.suppress_proc_spans && !arrivals.is_empty() {
             let phase = self.phase_idx;
             let release = self.ns_since_start(self.last_release);
             let end = self.ns_since_start(now);
@@ -129,6 +165,16 @@ impl PhaseTimer for WallTimer {
 
     fn bank_model(&self) -> Option<qsm_simnet::BankModel> {
         self.banks
+    }
+
+    /// The native backend opts in: hand the SPMD workers the run
+    /// epoch so their spans share this timer's timeline (machine
+    /// track and worker lanes line up in the trace), and stop
+    /// emitting the coarse per-processor spans `price` would
+    /// otherwise derive from arrivals.
+    fn spmd_span_epoch(&mut self) -> Option<Instant> {
+        self.suppress_proc_spans = true;
+        Some(self.run_start)
     }
 }
 
@@ -297,5 +343,17 @@ mod tests {
         for kind in [SpanKind::Compute, SpanKind::BarrierWait] {
             assert_eq!(data.spans.iter().filter(|s| s.kind == kind).count(), 2, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn spmd_epoch_hands_over_the_timeline_and_suppresses_proc_spans() {
+        let rec = Recorder::new(qsm_obs::ObsLevel::Full, 1e9);
+        let mut t = WallTimer::with_recorder(rec.clone());
+        let epoch = t.spmd_span_epoch().expect("native timer opts in");
+        assert_eq!(epoch, t.run_start, "workers must share the timer's epoch");
+        let arrivals = [Instant::now(), Instant::now()];
+        let _ = t.price(&[0, 0], &CommMatrix::new(2), &arrivals);
+        let data = rec.take().unwrap();
+        assert!(data.spans.is_empty(), "worker-side capture owns the lanes: {:?}", data.spans);
     }
 }

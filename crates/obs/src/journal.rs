@@ -1,0 +1,101 @@
+//! Append-only JSONL run journal.
+//!
+//! A [`RunJournal`] turns a path into a line-oriented sink: every
+//! [`append`](RunJournal::append) call writes one line and flushes,
+//! so a journal read mid-run (or after a crash) always contains whole
+//! records — the property a later work-claim ledger for resumable
+//! sweeps depends on. The file is opened in append mode; several
+//! processes sharing one journal interleave whole lines, never
+//! fragments (POSIX `O_APPEND` writes of a line-sized buffer).
+//!
+//! This module only writes lines; composing the JSON record is the
+//! caller's job ([`json_escape`] covers embedded strings). Records
+//! should be self-describing — carry a `"kind"` and a `"v"` version
+//! field — so readers can skip what they do not understand.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An append-only, line-buffered JSONL sink.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: Mutex<File>,
+}
+
+impl RunJournal {
+    /// Open (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(RunJournal { file: Mutex::new(file) })
+    }
+
+    /// Append `record` (one JSON object, no trailing newline) as one
+    /// journal line and flush it to disk.
+    pub fn append(&self, record: &str) -> std::io::Result<()> {
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// Escape `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_whole_lines_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("qsm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = RunJournal::open(&path).unwrap();
+            j.append(r#"{"v":1,"kind":"a"}"#).unwrap();
+        }
+        {
+            // Reopening appends after the existing record.
+            let j = RunJournal::open(&path).unwrap();
+            j.append(r#"{"v":1,"kind":"b"}"#).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec![r#"{"v":1,"kind":"a"}"#, r#"{"v":1,"kind":"b"}"#]);
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_fails_loudly_on_unwritable_path() {
+        assert!(RunJournal::open(Path::new("/nonexistent-dir/run.jsonl")).is_err());
+    }
+
+    #[test]
+    fn json_escape_covers_controls_and_quotes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -25,15 +25,20 @@
 //!   one track per processor, a wire track fed by the `qsm-simnet`
 //!   [`TraceEvent`] stream (barrier legs included), and counter
 //!   tracks for κ and per-destination queue depth.
+//! * [`RunJournal`] — an append-only JSONL sink for per-sweep-point
+//!   run records (`QSM_RUN_LOG` in the bench harness): one flushed
+//!   line per record, safe to tail mid-run.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod journal;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
 pub mod span;
 
+pub use journal::{json_escape, RunJournal};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{ObsData, ObsLevel, Recorder, WireEvent};
 pub use span::{CounterSample, Span, SpanKind};

@@ -6,7 +6,10 @@
 //! That is the property the `QSM_METRICS` golden test pins: output for
 //! `QSM_JOBS=1` and `QSM_JOBS=4` must match to the byte. Floating
 //! accumulation is deliberately absent — `f64` addition is not
-//! associative, so a float sum would break that guarantee.
+//! associative, so a float sum would break that guarantee. The
+//! percentile estimates in a dump are `f64`, but each is a pure
+//! function of the (integer) bucket state, so byte-stability still
+//! holds: equal contents render equal percentiles.
 
 use std::collections::BTreeMap;
 
@@ -85,6 +88,53 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation over the bucket that holds rank
+    /// `q * (count - 1)`, with the bucket's value range clamped to
+    /// the observed `[min, max]`.
+    ///
+    /// The estimate is exact whenever the bucket pins the value:
+    /// all-equal data, `q = 0` (returns `min`), `q = 1` (returns
+    /// `max`), and any lone observation that is the global extremum.
+    /// Otherwise the error is bounded by the width of one
+    /// power-of-two bucket. Returns 0 for an empty histogram.
+    /// Because the result depends only on the bucket state, merging
+    /// histograms in any order yields identical percentiles.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count - 1) as f64;
+        // Observations in buckets below the current one; bucket `i`
+        // with count `c` covers sorted ranks `seen ..= seen + c - 1`.
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= (seen + c - 1) as f64 {
+                let lo = Self::bucket_lo(i).max(self.min) as f64;
+                let hi = Self::bucket_hi(i).min(self.max) as f64;
+                if c == 1 {
+                    // A lone observation: pinned when it is the
+                    // global min or max, midpoint otherwise.
+                    return if seen == 0 {
+                        lo
+                    } else if seen + 1 == self.count {
+                        hi
+                    } else {
+                        (lo + hi) / 2.0
+                    };
+                }
+                let t = ((rank - seen as f64) / (c - 1) as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * t;
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` triples.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -94,15 +144,27 @@ impl Histogram {
             .map(|(i, &c)| (Self::bucket_lo(i), Self::bucket_hi(i), c))
     }
 
-    /// Render as a JSON object.
+    /// Render as a JSON object. Percentile estimates are included for
+    /// non-empty histograms; Rust's round-trip `f64` formatting keeps
+    /// them byte-stable for equal bucket contents.
     fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":[",
+            "{{\"count\":{},\"min\":{},\"max\":{},\"sum\":{},",
             self.count,
             if self.count == 0 { 0 } else { self.min },
             self.max,
             self.sum
         );
+        if self.count > 0 {
+            s.push_str(&format!(
+                "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},",
+                self.percentile(0.50),
+                self.percentile(0.90),
+                self.percentile(0.99),
+                self.percentile(0.999)
+            ));
+        }
+        s.push_str("\"buckets\":[");
         let mut first = true;
         for (lo, hi, c) in self.nonzero_buckets() {
             if !first {
@@ -273,6 +335,68 @@ mod tests {
         merged.merge(&part1);
         merged.merge(&part2);
         assert_eq!(merged.to_json(), direct.to_json());
+    }
+
+    #[test]
+    fn percentile_is_exact_on_single_bucket_data() {
+        // All observations equal: every quantile is that value.
+        let mut h = Histogram::default();
+        for _ in 0..17 {
+            h.observe(42);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 42.0);
+        }
+        // Extremes are exact even across buckets.
+        let mut h = Histogram::default();
+        for v in [3, 9, 9, 200] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.0), 3.0);
+        assert_eq!(h.percentile(1.0), 200.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        // 8..=15 all land in bucket [8, 15]: count 8, rank(q=0.5) is
+        // 3.5, so the estimate interpolates halfway across the
+        // clamped bucket range [8, 15].
+        let mut h = Histogram::default();
+        for v in 8..=15u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.5), 11.5);
+        assert_eq!(h.percentile(0.0), 8.0);
+        assert_eq!(h.percentile(1.0), 15.0);
+    }
+
+    #[test]
+    fn percentile_p999_sees_a_heavy_tail() {
+        // 999 fast observations and one catastrophic outlier: p99
+        // stays at the fast value while p999 lands exactly on the
+        // outlier (a lone max observation is pinned).
+        let mut h = Histogram::default();
+        for _ in 0..999 {
+            h.observe(1);
+        }
+        h.observe(1 << 40);
+        assert_eq!(h.percentile(0.99), 1.0);
+        assert_eq!(h.percentile(0.999), (1u64 << 40) as f64);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::default().percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn json_includes_percentiles_only_when_nonempty() {
+        let mut h = Histogram::default();
+        h.observe(42);
+        let j = h.to_json();
+        assert!(j.contains("\"p50\":42,"), "percentiles rendered: {j}");
+        assert!(j.contains("\"p999\":42,"), "percentiles rendered: {j}");
+        assert!(!Histogram::default().to_json().contains("\"p50\""));
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl ObsData {
                     (PID_MACHINE, 2, format!("phase {} retry wave {}", s.phase, s.lane))
                 }
                 SpanKind::BankService => (PID_MACHINE, 3, format!("phase {} bank wait", s.phase)),
-                SpanKind::Compute | SpanKind::CommBusy | SpanKind::BarrierWait => {
+                SpanKind::Compute
+                | SpanKind::CommBusy
+                | SpanKind::BarrierWait
+                | SpanKind::ServeGets
+                | SpanKind::ApplyPuts
+                | SpanKind::LeaderPlan
+                | SpanKind::LeaderPrice => {
                     (PID_PROCS, s.lane, format!("{} p{}", s.kind.label(), s.phase))
                 }
             };

@@ -34,6 +34,18 @@ pub enum SpanKind {
     /// phase, `dur` equal to the summed bank waits of its deliveries
     /// (emitted only when a bank model is enabled).
     BankService,
+    /// Processor lane: SPMD worker `lane` serving its own gets from
+    /// the peers' frozen stores (between the phase's two barriers).
+    ServeGets,
+    /// Processor lane: SPMD worker `lane` applying the puts that land
+    /// in its own block and retiring registrations (after B2).
+    ApplyPuts,
+    /// Processor lane: the SPMD leader running the driver's plan
+    /// stage over the published slots (between B1 and B2; lane 0).
+    LeaderPlan,
+    /// Processor lane: the SPMD leader pricing and recording the
+    /// phase after B2, overlapping the peers' next compute (lane 0).
+    LeaderPrice,
 }
 
 impl SpanKind {
@@ -48,6 +60,10 @@ impl SpanKind {
             SpanKind::ExchangeRound => "round",
             SpanKind::RetryRound => "retry",
             SpanKind::BankService => "bank",
+            SpanKind::ServeGets => "serve",
+            SpanKind::ApplyPuts => "apply",
+            SpanKind::LeaderPlan => "plan",
+            SpanKind::LeaderPrice => "price",
         }
     }
 }

@@ -1,0 +1,78 @@
+//! Property tests for `Histogram::percentile`: merge order must not
+//! change any percentile, and every estimate must stay inside the
+//! power-of-two bucket that holds the true empirical quantile.
+
+use proptest::prelude::*;
+use qsm_obs::Histogram;
+
+/// Bucket index of a value: its bit length (mirrors the histogram's
+/// internal bucketing, which the public API exposes via
+/// `nonzero_buckets` bounds).
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    let i = (64 - v.leading_zeros()) as usize;
+    if i == 0 {
+        (0, 0)
+    } else {
+        (1u64 << (i - 1), if i == 64 { u64::MAX } else { (1u64 << i) - 1 })
+    }
+}
+
+const QS: [f64; 6] = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `merge` commutes with percentile extraction: folding A into B
+    /// or B into A yields bit-identical percentile estimates.
+    #[test]
+    fn merge_commutes_with_percentiles(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::default();
+        for &v in &a {
+            ha.observe(v);
+        }
+        let mut hb = Histogram::default();
+        for &v in &b {
+            hb.observe(v);
+        }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        for q in QS {
+            prop_assert_eq!(ab.percentile(q).to_bits(), ba.percentile(q).to_bits());
+        }
+    }
+
+    /// Every estimate lies within the observed range and within the
+    /// bucket span of the true empirical quantile: between the lower
+    /// bucket bound of the sorted value at rank `floor(q * (n - 1))`
+    /// and the upper bucket bound at rank `ceil(q * (n - 1))` — the
+    /// documented one-bucket error bound (a fractional rank may
+    /// straddle a bucket boundary).
+    #[test]
+    fn estimates_stay_in_the_true_quantiles_bucket(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..300),
+    ) {
+        let mut h = Histogram::default();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let mut data = samples;
+        data.sort_unstable();
+        let n = data.len();
+        for q in QS {
+            let est = h.percentile(q);
+            prop_assert!(est >= data[0] as f64 && est <= data[n - 1] as f64,
+                "q={} est={} outside observed range [{}, {}]", q, est, data[0], data[n - 1]);
+            let rank = q * (n - 1) as f64;
+            let (lo, _) = bucket_bounds(data[rank.floor() as usize]);
+            let (_, hi) = bucket_bounds(data[rank.ceil() as usize]);
+            prop_assert!(est >= lo as f64 && est <= hi as f64,
+                "q={} est={} outside bucket span [{}, {}] of true quantile ranks {}..{}",
+                q, est, lo, hi, data[rank.floor() as usize], data[rank.ceil() as usize]);
+        }
+    }
+}
