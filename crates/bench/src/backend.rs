@@ -9,8 +9,10 @@
 //! tables) always run on sim and say so on stderr when a different
 //! backend was requested.
 
+use std::sync::Mutex;
+
 use qsm_core::{AnyMachine, SimMachine, ThreadMachine};
-use qsm_simnet::{BankModel, CpuConfig, MachineConfig};
+use qsm_simnet::{BankModel, CpuConfig, MachineConfig, TopologyKind};
 
 /// Which [`qsm_core::Machine`] the harness runs programs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +61,23 @@ impl Backend {
     /// When the `QSM_BANKS` knob enables a destination-bank model and
     /// `cfg` does not already carry one, it is installed here — so any
     /// figure's machine can be rerun with banked memory without code
-    /// changes. A config that chose its own bank model wins.
+    /// changes. A config that chose its own bank model wins. The
+    /// `QSM_TOPOLOGY`/`QSM_LINK_GAP` knobs install a fabric topology
+    /// under the same rule (`flat` and unset leave the config alone —
+    /// the exact contention-free arithmetic).
     pub fn machine(self, cfg: MachineConfig, seed: u64) -> AnyMachine {
         let cfg = match (env_banks(), cfg.net.banks) {
             (Some(b), None) => cfg.with_banks(b),
+            _ => cfg,
+        };
+        let cfg = match (env_topology(cfg.p), cfg.net.topology) {
+            (Some(t), TopologyKind::Flat) if t != TopologyKind::Flat => {
+                let cfg = cfg.with_topology(t);
+                match env_link_gap() {
+                    Some(g) => cfg.with_link_gap(g),
+                    None => cfg,
+                }
+            }
             _ => cfg,
         };
         match self {
@@ -122,6 +137,108 @@ pub fn banks_from_knobs(banks: Option<usize>, service: Option<usize>) -> Option<
     })
 }
 
+/// Knob names that already produced a warning, so broken topology
+/// knob values warn exactly once per process (the same discipline as
+/// [`qsm_core::knob::parse_usize_knob`]).
+static WARNED_TOPO_KNOBS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn warn_once(name: &'static str, msg: String) {
+    let mut warned = WARNED_TOPO_KNOBS.lock().unwrap_or_else(|e| e.into_inner());
+    if !warned.contains(&name) {
+        warned.push(name);
+        eprintln!("warning: {msg}");
+    }
+}
+
+/// The fabric topology selected by the environment for a `p`-node
+/// machine: `QSM_TOPOLOGY` names the routing stage — `flat` (the
+/// default contention-free wire), `line`, `mesh`/`mesh2d`,
+/// `torus`/`torus2d` (optionally with explicit `:RxC` axes, e.g.
+/// `torus:4x4`), or `fattree`. Unset, empty, and `flat` all mean "no
+/// link stage" (`None`), and an unusable value warns once and falls
+/// back to that — never panics mid-run.
+pub fn env_topology(p: usize) -> Option<TopologyKind> {
+    topology_from_knob(std::env::var("QSM_TOPOLOGY").ok().as_deref(), p)
+}
+
+/// Pure half of [`env_topology`]: parse one knob value.
+pub fn topology_from_knob(raw: Option<&str>, p: usize) -> Option<TopologyKind> {
+    let v = raw?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    let (name, dims) = match v.split_once(':') {
+        Some((n, d)) => (n.trim(), Some(d.trim())),
+        None => (v, None),
+    };
+    let axes = |d: &str| -> Option<(usize, usize)> {
+        let (r, c) = d.split_once('x')?;
+        Some((r.trim().parse().ok()?, c.trim().parse().ok()?))
+    };
+    let kind = match (name, dims) {
+        ("flat", None) => Some(TopologyKind::Flat),
+        ("line", None) => Some(TopologyKind::Line),
+        ("fattree", None) => Some(TopologyKind::FatTree),
+        ("mesh" | "mesh2d", None) => Some(TopologyKind::mesh(p)),
+        ("torus" | "torus2d", None) => Some(TopologyKind::torus(p)),
+        ("mesh" | "mesh2d", Some(d)) => {
+            axes(d).map(|(rows, cols)| TopologyKind::Mesh2d { rows, cols })
+        }
+        ("torus" | "torus2d", Some(d)) => {
+            axes(d).map(|(rows, cols)| TopologyKind::Torus2d { rows, cols })
+        }
+        _ => None,
+    };
+    let Some(kind) = kind else {
+        warn_once(
+            "QSM_TOPOLOGY",
+            format!(
+                "ignoring unparseable QSM_TOPOLOGY={v:?} (want flat, line, \
+                 mesh[:RxC], torus[:RxC], or fattree); using the flat wire"
+            ),
+        );
+        return None;
+    };
+    if let TopologyKind::Mesh2d { rows, cols } | TopologyKind::Torus2d { rows, cols } = kind {
+        if rows == 0 || cols == 0 || rows * cols != p {
+            warn_once(
+                "QSM_TOPOLOGY",
+                format!(
+                    "ignoring QSM_TOPOLOGY={v:?}: grid {rows}x{cols} does not tile \
+                     p = {p} nodes; using the flat wire"
+                ),
+            );
+            return None;
+        }
+    }
+    Some(kind)
+}
+
+/// The per-byte fabric-link gap override: `QSM_LINK_GAP=c` sets each
+/// directed link's serialization cost to `c` cycles per byte (float;
+/// default = the machine's NIC gap). Honoured only when a non-flat
+/// `QSM_TOPOLOGY` installs a link stage.
+pub fn env_link_gap() -> Option<f64> {
+    let raw = std::env::var("QSM_LINK_GAP").ok()?;
+    let v = raw.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<f64>() {
+        Ok(g) if g.is_finite() && g >= 0.0 => Some(g),
+        _ => {
+            warn_once(
+                "QSM_LINK_GAP",
+                format!(
+                    "ignoring unparseable QSM_LINK_GAP={v:?} (expected a \
+                     non-negative number of cycles per byte); using the NIC gap"
+                ),
+            );
+            None
+        }
+    }
+}
+
 /// Announce that a figure is parameterized over *simulated* machine
 /// configurations and therefore ignores a non-sim `QSM_BACKEND`.
 pub fn warn_sim_only(id: &str) {
@@ -175,6 +292,43 @@ mod tests {
         // A garbage value goes through parse_usize_knob's warn-once
         // fallback, i.e. behaves as unset rather than panicking.
         assert_eq!(banks_from_knobs(parse_usize_knob("QSM_BANKS", Some("lots")), None), None);
+    }
+
+    #[test]
+    fn topology_knob_parses_every_shape() {
+        assert_eq!(topology_from_knob(None, 16), None);
+        assert_eq!(topology_from_knob(Some(""), 16), None);
+        assert_eq!(topology_from_knob(Some("flat"), 16), Some(TopologyKind::Flat));
+        assert_eq!(topology_from_knob(Some(" line "), 16), Some(TopologyKind::Line));
+        assert_eq!(topology_from_knob(Some("fattree"), 16), Some(TopologyKind::FatTree));
+        // Bare grid names tile p into the squarest factorization.
+        assert_eq!(
+            topology_from_knob(Some("mesh"), 16),
+            Some(TopologyKind::Mesh2d { rows: 4, cols: 4 })
+        );
+        assert_eq!(
+            topology_from_knob(Some("torus2d"), 8),
+            Some(TopologyKind::Torus2d { rows: 2, cols: 4 })
+        );
+        // Explicit axes win, and must tile p.
+        assert_eq!(
+            topology_from_knob(Some("torus:2x8"), 16),
+            Some(TopologyKind::Torus2d { rows: 2, cols: 8 })
+        );
+        assert_eq!(topology_from_knob(Some("mesh:3x3"), 16), None);
+        // Garbage warns (once) and falls back to the flat wire.
+        assert_eq!(topology_from_knob(Some("hypercube"), 16), None);
+        assert_eq!(topology_from_knob(Some("mesh:4by4"), 16), None);
+    }
+
+    #[test]
+    fn topology_knob_installs_the_link_stage() {
+        // A non-flat selection lands in the machine's config the same
+        // way QSM_BANKS does; `flat` leaves the config untouched.
+        let cfg = MachineConfig::paper_default(4);
+        let line = cfg.with_topology(TopologyKind::Line);
+        assert_eq!(line.net.topology, TopologyKind::Line);
+        assert_eq!(cfg.net.topology, TopologyKind::Flat);
     }
 
     #[test]

@@ -155,6 +155,8 @@ fn main() {
                 r.profile.kappa.to_string(),
                 r.bank_kappa.to_string(),
                 format!("{:.0}", r.bank_wait.get()),
+                format!("{:.0}", r.link_wait.get()),
+                format!("{:.1}", r.link_util * 100.0),
                 slowest[k].map_or_else(|| "-".into(), |l| format!("p{l}")),
                 format!("{:.1}", balance[k].0),
                 format!("{:.1}", balance[k].1),
@@ -173,16 +175,22 @@ fn main() {
         "kappa",
         "bank_kappa",
         "bank_wait",
+        "link_wait",
+        "lutil_pct",
         "slowest",
         "imb_pct",
         "bwait_pct",
     ];
 
+    let topo = qsm_bench::backend::env_topology(p).unwrap_or_default();
+    let banks = qsm_bench::backend::env_banks().map(|b| b.banks_per_node).unwrap_or(0);
     println!("== explain — {algo}, p = {p}, n = {n}, backend = {} ==", machine.backend_name());
+    println!("(topology = {} {}, banks = {banks})", topo.name(), topo.params());
     println!(
-        "(measured columns incl. bank_wait in {unit}; model columns are per-phase predicted \
-         communication in cycles; bank_kappa in 4-byte words; imb_pct = per-processor compute \
-         spread (max-min)/max; bwait_pct = barrier wait share of p*elapsed)"
+        "(measured columns incl. bank_wait/link_wait in {unit}; model columns are per-phase \
+         predicted communication in cycles; bank_kappa in 4-byte words; lutil_pct = hottest \
+         fabric link busy share; imb_pct = per-processor compute spread (max-min)/max; \
+         bwait_pct = barrier wait share of p*elapsed)"
     );
     println!("{}", table(&headers, &rows));
     print!("{report}");

@@ -17,6 +17,7 @@
 //! | [`ext_hotspot`] | (ours) | hot-spot contention: QSM κ vs s-QSM g·κ |
 //! | [`ext_faults`] | (ours) | message loss + retry protocol vs reliable-network assumption |
 //! | [`ext_banks`] | (ours) | bank contention through the full get/put/sync pipeline |
+//! | [`ext_topology`] | (ours) | routed multi-hop fabrics vs the flat wire |
 
 pub mod ablations;
 pub mod ext_banks;
@@ -24,6 +25,7 @@ pub mod ext_fabric;
 pub mod ext_faults;
 pub mod ext_hotspot;
 pub mod ext_straggler;
+pub mod ext_topology;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -97,12 +97,20 @@ pub(crate) fn record_point(rec: &PointRecord<'_>) {
         Some(c) => (c.figure, c.p, c.reps, c.fast),
         None => ("?", 0, 0, false),
     };
+    // The active fabric topology and bank count, so a journal line is
+    // attributable to the exact machine extension knobs it ran under.
+    let topo = crate::backend::env_topology(p.max(1)).unwrap_or_default();
+    let banks = crate::backend::env_banks().map(|b| b.banks_per_node).unwrap_or(0);
     let mut line = format!(
         "{{\"v\":1,\"kind\":\"sweep_point\",\"figure\":\"{}\",\"backend\":\"{}\",\
-         \"p\":{p},\"reps\":{reps},\"fast\":{fast},\"point\":{},\"total\":{},\"jobs\":{},\
+         \"p\":{p},\"reps\":{reps},\"fast\":{fast},\
+         \"topology\":\"{}\",\"topo_params\":\"{}\",\"banks\":{banks},\
+         \"point\":{},\"total\":{},\"jobs\":{},\
          \"duration_ms\":{:.3},\"retries\":{},\"dropped_msgs\":{}",
         json_escape(figure),
         crate::backend::Backend::from_env().name(),
+        topo.name(),
+        topo.params(),
         rec.index,
         rec.total,
         rec.jobs,

@@ -79,6 +79,12 @@ pub struct CostReport {
     /// Total destination-bank queuing across all deliveries of the
     /// run (zero without a bank model).
     pub bank_wait: Cycles,
+    /// Total fabric-link queuing across all deliveries of the run
+    /// (zero on the flat contention-free wire).
+    pub link_wait: Cycles,
+    /// Busy fraction of the most-utilized fabric link over any single
+    /// phase of the run (zero on the flat wire).
+    pub link_util: f64,
     /// Model parameters used for the prediction columns.
     pub models: ModelInputs,
     /// Predicted communication time under QSM.
@@ -126,6 +132,8 @@ impl CostReport {
             dropped_msgs: phases.iter().map(|r| r.dropped_msgs).sum(),
             bank_kappa: phases.iter().map(|r| r.bank_kappa).max().unwrap_or(0),
             bank_wait: phases.iter().map(|r| r.bank_wait).sum(),
+            link_wait: phases.iter().map(|r| r.link_wait).sum(),
+            link_util: phases.iter().map(|r| r.link_util).fold(0.0, f64::max),
             models,
             qsm_comm: profile.qsm_comm_cost(&models.qsm),
             sqsm_comm: profile.sqsm_comm_cost(&models.sqsm),
@@ -188,6 +196,15 @@ impl fmt::Display for CostReport {
                 self.measured_unit
             )?;
         }
+        if self.link_wait > Cycles::ZERO || self.link_util > 0.0 {
+            writeln!(
+                f,
+                "  fabric:   {:.0} {} queued at links, hottest link {:.0}% busy",
+                self.link_wait.get(),
+                self.measured_unit,
+                self.link_util * 100.0
+            )?;
+        }
         writeln!(f, "  predicted communication (hardware parameters):")?;
         for (name, v) in [
             ("QSM", self.qsm_comm),
@@ -225,6 +242,8 @@ mod tests {
             dropped_msgs: 0,
             bank_kappa: 0,
             bank_wait: Cycles::ZERO,
+            link_wait: Cycles::ZERO,
+            link_util: 0.0,
         }
     }
 

@@ -337,6 +337,13 @@ pub struct PhaseRecord {
     /// (zero without a bank model, and on wall-clock backends, which
     /// do not simulate banks).
     pub bank_wait: Cycles,
+    /// Summed fabric-link queuing across the phase's deliveries (zero
+    /// on the flat contention-free wire, and on wall-clock backends,
+    /// which do not simulate the fabric).
+    pub link_wait: Cycles,
+    /// Busy fraction of the most-utilized fabric link over the phase
+    /// (zero on the flat wire and on wall-clock backends).
+    pub link_util: f64,
 }
 
 /// Per-array access ranges used for κ and conflict detection.
@@ -440,6 +447,10 @@ pub(crate) struct Driver {
     /// Banks per node when the backend models destination banks
     /// (0 = bank metering off; set once per run from the timer).
     banks: usize,
+    /// Directed fabric links when the backend routes messages over a
+    /// non-flat topology (0 = link metrics off; set once per run
+    /// from the timer).
+    links: usize,
     /// Dense `(node, bank)` word-load scratch for the bank-κ sweep,
     /// paired with the indices touched this phase.
     bank_load: Vec<u64>,
@@ -485,6 +496,7 @@ impl Driver {
             touched_arrays: Vec::new(),
             kappa_events: Vec::new(),
             banks: 0,
+            links: 0,
             bank_load: Vec::new(),
             bank_load_touched: Vec::new(),
             raw_pool: Vec::new(),
@@ -501,6 +513,7 @@ impl Driver {
             self.matrix.enable_banks(self.banks);
             self.bank_load = vec![0; self.p * self.banks];
         }
+        self.links = timer.link_count();
     }
 
     /// Run the driver loop until every worker reports `Finished`.
@@ -592,7 +605,8 @@ impl Driver {
         let timing = self.price_stage(&payloads, timer);
         let faults = timer.fault_counts();
         let bank_wait = timer.bank_wait();
-        let record = self.record_stage(&plan, timing, faults, bank_wait);
+        let link = (timer.link_wait(), timer.link_util());
+        let record = self.record_stage(&plan, timing, faults, bank_wait, link);
         self.handback_stage(&mut payloads, &mut replies, &plan);
         (replies, record)
     }
@@ -923,6 +937,7 @@ impl Driver {
         timing: PhaseTiming,
         (retries, dropped_msgs): (u64, u64),
         bank_wait: Cycles,
+        (link_wait, link_util): (Cycles, f64),
     ) -> PhaseRecord {
         let this = &mut *self;
         let p = this.p;
@@ -941,6 +956,12 @@ impl Driver {
             if this.banks > 0 {
                 this.rec.observe("bank_kappa", plan.bank_kappa);
                 this.rec.add("bank_wait_cycles", bank_wait.get() as u64);
+            }
+            // Link-wait and link-utilization exist only under a
+            // non-flat topology; same conditional-emission rule.
+            if this.links > 0 {
+                this.rec.add("link_wait_cycles", link_wait.get() as u64);
+                this.rec.observe("link_util_pct", (link_util * 100.0).round() as u64);
             }
             if this.rec.is_full() {
                 let t0 = this.now;
@@ -991,6 +1012,8 @@ impl Driver {
             dropped_msgs,
             bank_kappa: plan.bank_kappa,
             bank_wait,
+            link_wait,
+            link_util,
         }
     }
 

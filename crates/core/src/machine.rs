@@ -69,6 +69,29 @@ pub trait PhaseTimer: Send {
         Cycles::ZERO
     }
 
+    /// Number of directed fabric links the backend's machine routes
+    /// messages over — zero on the flat contention-free wire and on
+    /// backends that do not simulate the fabric. The driver queries
+    /// it once per run to switch on per-link metrics, mirroring
+    /// [`PhaseTimer::bank_model`].
+    fn link_count(&self) -> usize {
+        0
+    }
+
+    /// Summed fabric-link queuing of the phase most recently priced
+    /// (zero on the flat wire, and on backends that do not simulate
+    /// the fabric).
+    fn link_wait(&self) -> Cycles {
+        Cycles::ZERO
+    }
+
+    /// Busy fraction of the most-utilized fabric link over the phase
+    /// most recently priced (zero on the flat wire, and on backends
+    /// that do not simulate the fabric).
+    fn link_util(&self) -> f64 {
+        0.0
+    }
+
     /// Opt in to SPMD per-worker span capture. The engine calls this
     /// once per SPMD run when full-level observability is on; a timer
     /// that returns the run's epoch instant takes over the timeline
@@ -278,6 +301,27 @@ impl PhaseTimer for AnyTimer {
         match &self.0 {
             AnyTimerInner::Sim(t) => t.bank_wait(),
             AnyTimerInner::Wall(t) => t.bank_wait(),
+        }
+    }
+
+    fn link_count(&self) -> usize {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.link_count(),
+            AnyTimerInner::Wall(t) => t.link_count(),
+        }
+    }
+
+    fn link_wait(&self) -> Cycles {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.link_wait(),
+            AnyTimerInner::Wall(t) => t.link_wait(),
+        }
+    }
+
+    fn link_util(&self) -> f64 {
+        match &self.0 {
+            AnyTimerInner::Sim(t) => t.link_util(),
+            AnyTimerInner::Wall(t) => t.link_util(),
         }
     }
 

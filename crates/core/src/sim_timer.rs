@@ -82,6 +82,15 @@ pub struct SimTimer {
     /// Summed destination-bank queuing over the data deliveries of
     /// the phase most recently priced (zero without a bank model).
     phase_bank_wait: Cycles,
+    /// Summed fabric-link queuing over the data and reply deliveries
+    /// of the phase most recently priced (zero on the flat wire).
+    phase_link_wait: Cycles,
+    /// Max per-link utilization (busy / elapsed) over the phase most
+    /// recently priced (zero on the flat wire).
+    phase_link_util: f64,
+    /// Per-link busy cycles at the end of the previous phase, for
+    /// utilization deltas (empty on the flat wire).
+    prev_link_busy: Vec<Cycles>,
 }
 
 impl SimTimer {
@@ -123,6 +132,9 @@ impl SimTimer {
             phase_retries: 0,
             phase_drops: 0,
             phase_bank_wait: Cycles::ZERO,
+            phase_link_wait: Cycles::ZERO,
+            phase_link_util: 0.0,
+            prev_link_busy: Vec::new(),
         }
     }
 
@@ -235,6 +247,9 @@ impl SimTimer {
             if self.cfg.net.banks.is_some() {
                 self.phase_bank_wait += self.deliveries.iter().map(|d| d.bank_wait).sum::<Cycles>();
             }
+            if self.net.link_count() > 0 {
+                self.phase_link_wait += self.deliveries.iter().map(|d| d.link_wait).sum::<Cycles>();
+            }
 
             // --- Receiver-side processing in deterministic arrival order.
             for q in self.inbox.iter_mut() {
@@ -308,6 +323,10 @@ impl SimTimer {
                 );
                 self.phase_retries += r;
                 self.phase_drops += d;
+                if self.net.link_count() > 0 {
+                    self.phase_link_wait +=
+                        self.reply_deliveries.iter().map(|d| d.link_wait).sum::<Cycles>();
+                }
                 for q in self.reply_inbox.iter_mut() {
                     q.clear();
                 }
@@ -373,6 +392,34 @@ impl SimTimer {
             let (msgs_name, bytes_name) = kind_counter_names(kind);
             self.rec.add(msgs_name, msgs - self.prev_stats.count(kind));
             self.rec.add(bytes_name, bytes - self.prev_stats.bytes_of(kind));
+        }
+        // Link-stage traffic exists only under a non-flat topology;
+        // emitting conditionally keeps flat-wire metrics dumps
+        // byte-identical to pre-topology builds.
+        let mut link_utils: Vec<f64> = Vec::new();
+        if self.net.link_count() > 0 {
+            let fwd_msgs =
+                stats.link_msgs.iter().sum::<u64>() - self.prev_stats.link_msgs.iter().sum::<u64>();
+            let fwd_bytes = stats.link_bytes.iter().sum::<u64>()
+                - self.prev_stats.link_bytes.iter().sum::<u64>();
+            self.rec.add("link_fwd_msgs", fwd_msgs);
+            self.rec.add("link_fwd_bytes", fwd_bytes);
+            // Per-link busy fraction over this phase, for the
+            // full-level utilization counter tracks below.
+            let elapsed =
+                release.iter().copied().fold(Cycles::ZERO, Cycles::max) - self.prev_release_max;
+            if elapsed > Cycles::ZERO {
+                link_utils = stats
+                    .link_busy
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &b)| {
+                        let prev =
+                            self.prev_stats.link_busy.get(l).copied().unwrap_or(Cycles::ZERO);
+                        (b - prev).get() / elapsed.get()
+                    })
+                    .collect();
+            }
         }
         self.prev_stats = stats;
         // Fault counters only when faults actually fired, so the
@@ -466,6 +513,15 @@ impl SimTimer {
             let release_max = release.iter().copied().fold(Cycles::ZERO, Cycles::max);
             for (dst, q) in self.inbox.iter().enumerate() {
                 self.rec.counter("queue_depth", dst as u32, release_max, q.len() as f64);
+            }
+        }
+
+        // --- Per-link utilization counter samples, one track per
+        // directed link, keyed at the phase end (non-flat only).
+        if !link_utils.is_empty() {
+            let release_max = release.iter().copied().fold(Cycles::ZERO, Cycles::max);
+            for (l, &util) in link_utils.iter().enumerate() {
+                self.rec.counter("link_util", l as u32, release_max, util);
             }
         }
 
@@ -651,6 +707,8 @@ impl PhaseTimer for SimTimer {
         self.phase_retries = 0;
         self.phase_drops = 0;
         self.phase_bank_wait = Cycles::ZERO;
+        self.phase_link_wait = Cycles::ZERO;
+        self.phase_link_util = 0.0;
         let local_finish: Vec<Cycles> = charged
             .iter()
             .zip(&self.phase_start)
@@ -666,6 +724,20 @@ impl PhaseTimer for SimTimer {
             .fold(Cycles::ZERO, Cycles::max);
         let elapsed = release_max - self.prev_release_max;
         let comm = elapsed - compute;
+        if self.net.link_count() > 0 {
+            // Per-link busy deltas against the previous phase, as a
+            // fraction of the phase's elapsed time; keep the hottest.
+            let busy = &self.net.stats().link_busy;
+            self.prev_link_busy.resize(busy.len(), Cycles::ZERO);
+            if elapsed > Cycles::ZERO {
+                self.phase_link_util = busy
+                    .iter()
+                    .zip(self.prev_link_busy.iter())
+                    .map(|(&b, &prev)| (b - prev).get() / elapsed.get())
+                    .fold(0.0, f64::max);
+            }
+            self.prev_link_busy.copy_from_slice(busy);
+        }
         if self.rec.is_enabled() {
             self.record_phase(&local_finish, matrix, &release);
         }
@@ -685,6 +757,18 @@ impl PhaseTimer for SimTimer {
 
     fn bank_wait(&self) -> Cycles {
         self.phase_bank_wait
+    }
+
+    fn link_count(&self) -> usize {
+        self.net.link_count()
+    }
+
+    fn link_wait(&self) -> Cycles {
+        self.phase_link_wait
+    }
+
+    fn link_util(&self) -> f64 {
+        self.phase_link_util
     }
 }
 
@@ -1130,6 +1214,34 @@ mod tests {
         assert!(t.bank_wait() > Cycles::ZERO);
         t.price(&[100; 4], &CommMatrix::new(4), &[]);
         assert_eq!(t.bank_wait(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn link_wait_and_util_reset_each_phase() {
+        use qsm_simnet::TopologyKind;
+        // A line with a slow link gap funnels everyone's puts to node
+        // 0 through the same few links, so phase 1 queues; the empty
+        // phase after it must report a clean slate.
+        let cfg =
+            MachineConfig::paper_default(4).with_topology(TopologyKind::Line).with_link_gap(100.0);
+        let mut m = CommMatrix::new(4);
+        for i in 1..4usize {
+            let c = m.at_mut(i, 0);
+            c.put_items = 1;
+            c.put_words = 500;
+            c.put_payload_bytes = 2000;
+        }
+        let mut t = SimTimer::new(cfg);
+        t.price(&[0; 4], &m, &[]);
+        assert!(t.link_wait() > Cycles::ZERO, "converging line traffic must queue at links");
+        let loaded_util = t.link_util();
+        assert!(loaded_util > 0.0);
+        // The next phase carries only the sync's own plan exchange:
+        // its links stay warm (the plan messages route hop-by-hop
+        // too) but the previous phase's queuing must not leak in.
+        t.price(&[100; 4], &CommMatrix::new(4), &[]);
+        assert_eq!(t.link_wait(), Cycles::ZERO);
+        assert!(t.link_util() < loaded_util, "util {} is phase-local", t.link_util());
     }
 
     #[test]

@@ -569,7 +569,8 @@ fn leader_finish(area: &ExchangeArea, parity: usize) {
     let timing = leader.driver.price_stage(&area.slots[parity], leader.timer.as_mut());
     let faults = leader.timer.fault_counts();
     let bank_wait = leader.timer.bank_wait();
-    let record = leader.driver.record_stage(&plan, timing, faults, bank_wait);
+    let link = (leader.timer.link_wait(), leader.timer.link_util());
+    let record = leader.driver.record_stage(&plan, timing, faults, bank_wait, link);
     leader.records.push(record);
     leader.driver.finish_phase_meta(&plan);
 }

@@ -88,6 +88,8 @@ impl BankBackend for SimBank<'_> {
             recv_overhead: 0.0,
             latency: m.transit_ns,
             fabric_gap_per_byte: None,
+            topology: qsm_simnet::TopologyKind::Flat,
+            link_gap_per_byte: None,
             faults: None,
             banks: Some(BankModel::per_message(1, m.bank_service_ns)),
         };

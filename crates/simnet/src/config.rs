@@ -19,6 +19,7 @@
 
 use crate::fault::FaultConfig;
 use crate::time::Cycles;
+use crate::topology::TopologyKind;
 
 /// Order in which the library visits destinations during the bulk
 /// exchange.
@@ -107,6 +108,20 @@ pub struct NetConfig {
     /// aggregate bandwidth saturates; see the `ext_fabric`
     /// experiment).
     pub fabric_gap_per_byte: Option<f64>,
+    /// Network topology of the staged link fabric (extension;
+    /// [`TopologyKind::Flat`] — the default — reproduces the paper's
+    /// structureless wire bit-exactly by skipping the link stage
+    /// entirely). Non-flat topologies forward every inter-node
+    /// message hop-by-hop over per-link FIFO queues; see
+    /// [`crate::topology`]. Mutually exclusive with the legacy
+    /// `fabric_gap_per_byte` scalar, which is internally a one-link
+    /// topology already.
+    pub topology: TopologyKind,
+    /// Per-directed-link serialization cost of a non-flat
+    /// [`NetConfig::topology`], cycles per byte. `None` (the
+    /// default) uses the NIC gap [`NetConfig::gap_per_byte`] — every
+    /// link as fast as an endpoint. Ignored on the flat wire.
+    pub link_gap_per_byte: Option<f64>,
     /// Optional deterministic fault injection (extension; `None` — a
     /// fault-free network — reproduces the paper's simulator
     /// bit-exactly). See [`crate::fault`] for the model; faults apply
@@ -131,6 +146,8 @@ impl NetConfig {
             recv_overhead: 400.0,
             latency: 1600.0,
             fabric_gap_per_byte: None,
+            topology: TopologyKind::Flat,
+            link_gap_per_byte: None,
             faults: None,
             banks: None,
         }
@@ -144,6 +161,13 @@ impl NetConfig {
         assert!(self.latency >= 0.0 && self.latency.is_finite());
         if let Some(f) = self.fabric_gap_per_byte {
             assert!(f >= 0.0 && f.is_finite());
+            assert!(
+                self.topology == TopologyKind::Flat,
+                "fabric_gap_per_byte is the one-link topology; pick it or a real topology, not both"
+            );
+        }
+        if let Some(g) = self.link_gap_per_byte {
+            assert!(g >= 0.0 && g.is_finite());
         }
         if let Some(f) = &self.faults {
             f.validate();
@@ -377,6 +401,25 @@ impl MachineConfig {
     /// machine-wide (extension; `None` in the paper's simulator).
     pub fn with_fabric(mut self, gap: f64) -> Self {
         self.net.fabric_gap_per_byte = Some(gap);
+        self.net.validate();
+        self
+    }
+
+    /// Builder: route messages through a network topology with
+    /// per-link FIFO bandwidth (extension; the paper's simulator has
+    /// a structureless wire). [`TopologyKind::Flat`] restores the
+    /// exact paper pipeline.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        topology.validate(self.p);
+        self.net.topology = topology;
+        self.net.validate();
+        self
+    }
+
+    /// Builder: set the per-directed-link gap (cycles/byte) of a
+    /// non-flat topology. Without it, links run at the NIC gap.
+    pub fn with_link_gap(mut self, gap: f64) -> Self {
+        self.net.link_gap_per_byte = Some(gap);
         self.net.validate();
         self
     }

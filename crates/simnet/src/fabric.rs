@@ -1,0 +1,130 @@
+//! The staged link fabric: hop-by-hop forwarding with per-link FIFO
+//! occupancy.
+//!
+//! The delivery pipeline's routing stage. Between a message's NIC
+//! departure and its arrival at the receiver, the fabric walks the
+//! message along its [`crate::topology::Topology`] route: each
+//! directed link is a FIFO resource that serializes the messages
+//! crossing it at `link_gap_per_byte` cycles per byte, and each
+//! traversed hop adds the topology's per-hop share of the wire
+//! latency. Messages are forwarded in deterministic
+//! `(depart, src, input index)` order — the same total order the
+//! legacy single-resource fabric used — so simulations replay
+//! exactly.
+//!
+//! The legacy `fabric_gap_per_byte` extension is the special case of
+//! a [`crate::topology::OneLink`] topology: one link, the full wire
+//! latency after it. The arithmetic below reproduces that path's
+//! original float operations in the original order, so enabling the
+//! staged fabric on a one-link topology is byte-identical to the old
+//! `fabric_free` scalar.
+
+use crate::config::NetConfig;
+use crate::message::Injection;
+use crate::network::Delivery;
+use crate::stats::NetStats;
+use crate::time::Cycles;
+use crate::topology::Topology;
+
+/// Per-link forwarding state for one [`crate::Network`].
+#[derive(Debug)]
+pub(crate) struct Fabric {
+    router: Box<dyn Topology>,
+    /// Service cost per wire byte on every link, cycles.
+    link_gap: f64,
+    /// When each directed link is next idle.
+    link_free: Vec<Cycles>,
+    /// Scratch: forwarding order of the current batch.
+    order: Vec<usize>,
+    /// Scratch: per-link message demand within the current batch
+    /// (feeds the peak-demand statistic).
+    demand: Vec<u64>,
+}
+
+impl Fabric {
+    /// Build the fabric stage a [`NetConfig`] asks for on a `p`-node
+    /// machine, or `None` when the configuration is the paper's flat
+    /// contention-free wire (the delivery pipeline then skips the
+    /// stage entirely — the exact original arithmetic).
+    pub(crate) fn from_config(p: usize, cfg: &NetConfig) -> Option<Self> {
+        let (router, link_gap): (Box<dyn Topology>, f64) = match cfg.fabric_gap_per_byte {
+            // Legacy one-resource fabric: a one-link topology.
+            Some(gap) => (Box::new(crate::topology::OneLink::new(cfg.latency)), gap),
+            None => {
+                let router = cfg.topology.build(p, cfg.latency)?;
+                (router, cfg.link_gap_per_byte.unwrap_or(cfg.gap_per_byte))
+            }
+        };
+        let links = router.links();
+        Some(Self {
+            router,
+            link_gap,
+            link_free: vec![Cycles::ZERO; links],
+            order: Vec::new(),
+            demand: vec![0; links],
+        })
+    }
+
+    /// Number of directed links.
+    pub(crate) fn links(&self) -> usize {
+        self.link_free.len()
+    }
+
+    /// The routing function.
+    pub(crate) fn router(&self) -> &dyn Topology {
+        self.router.as_ref()
+    }
+
+    /// Reset every link timeline to idle-at-zero.
+    pub(crate) fn reset(&mut self) {
+        self.link_free.fill(Cycles::ZERO);
+    }
+
+    /// Forward one transmitted batch through the link pipeline,
+    /// rewriting each inter-node message's `arrive` (and recording
+    /// its accumulated `link_wait`). Self-messages never enter the
+    /// fabric. Per-link counters accumulate into `stats`.
+    pub(crate) fn forward(
+        &mut self,
+        msgs: &[Injection],
+        deliveries: &mut [Delivery],
+        stats: &mut NetStats,
+    ) {
+        stats.ensure_links(self.link_free.len());
+        let hop_latency = Cycles::new(self.router.hop_latency());
+        self.order.clear();
+        self.order.extend((0..msgs.len()).filter(|&i| msgs[i].src != msgs[i].dst));
+        let order = &mut self.order;
+        order.sort_by(|&a, &b| {
+            deliveries[a]
+                .depart
+                .cmp(&deliveries[b].depart)
+                .then_with(|| msgs[a].src.cmp(&msgs[b].src))
+                .then_with(|| a.cmp(&b))
+        });
+        self.demand.fill(0);
+        for &i in self.order.iter() {
+            let m = &msgs[i];
+            let occupy = Cycles::new(self.link_gap * m.bytes as f64);
+            let mut at = deliveries[i].depart;
+            let mut wait = Cycles::ZERO;
+            for &l in self.router.route(m.src, m.dst) {
+                let start = at.max(self.link_free[l]);
+                wait += start - at;
+                self.link_free[l] = start + occupy;
+                at = self.link_free[l] + hop_latency;
+                stats.link_msgs[l] += 1;
+                stats.link_bytes[l] += m.bytes;
+                stats.link_busy[l] += occupy;
+                self.demand[l] += 1;
+            }
+            deliveries[i].arrive = at;
+            deliveries[i].link_wait = wait;
+        }
+        for (l, &d) in self.demand.iter().enumerate() {
+            if d > stats.link_peak_demand[l] {
+                stats.link_peak_demand[l] = d;
+            }
+        }
+    }
+}

@@ -41,6 +41,16 @@
 //! destination-side memory-bank contention, folded into the one data
 //! plane); without it — or for messages that name no bank — the
 //! arithmetic is bit-identical to the paper's bank-free simulator.
+//!
+//! A second opt-in stage sits between `depart` and `arrive`: with a
+//! non-flat [`topology::TopologyKind`], every inter-node message is
+//! forwarded hop-by-hop along its route, each directed link a FIFO
+//! serializing at the link gap, each hop adding the topology's share
+//! of the wire latency ([`fabric`]). The default `Flat` topology has
+//! no link stage at all — the `arrive` line above is the exact
+//! arithmetic — and the legacy machine-wide
+//! [`config::NetConfig::fabric_gap_per_byte`] extension is internally
+//! a one-link topology, so there is a single congestion code path.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -48,11 +58,13 @@
 pub mod barrier;
 pub mod config;
 pub mod event;
+pub(crate) mod fabric;
 pub mod fault;
 pub mod message;
 pub mod network;
 pub mod stats;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
 pub use barrier::{BarrierModel, DisseminationBarrier};
@@ -64,4 +76,5 @@ pub use message::{Injection, MsgKind};
 pub use network::{Delivery, Network};
 pub use stats::NetStats;
 pub use time::Cycles;
+pub use topology::{LinkId, Topology, TopologyKind};
 pub use trace::{Keep, Trace, TraceEvent};

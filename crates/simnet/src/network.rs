@@ -1,18 +1,32 @@
-//! The network: per-node send/receive engines with busy timelines.
+//! The network: a staged delivery pipeline over per-node engines.
 //!
-//! Like the paper's simulator, the network models **no internal
-//! contention**: messages from different senders never interfere in
-//! the fabric. Contention exists only at the endpoints — a node's
-//! send engine serializes its outgoing messages at the gap rate, and
-//! its receive engine serializes incoming ones — plus the wire
-//! latency in between. See the crate docs for the exact per-message
-//! timing equations.
+//! Every transmitted batch flows through three explicit stages:
+//!
+//! 1. **Inject** ([`Network::stage_inject`]) — each sender's NIC
+//!    serializes its outgoing messages in `(ready, input index)`
+//!    order and stamps departures (and flat-wire arrivals).
+//! 2. **Route** ([`crate::fabric::Fabric`], optional) — with a
+//!    non-flat [`crate::TopologyKind`] (or the legacy one-link
+//!    `fabric_gap_per_byte` extension) each inter-node message is
+//!    forwarded hop-by-hop over per-directed-link FIFO queues,
+//!    rewriting its arrival time.
+//! 3. **Ingest** ([`Network::stage_ingest`]) — each receiver's
+//!    engine serializes arrivals, then banked messages queue at
+//!    their destination bank FIFO.
+//!
+//! Like the paper's simulator, the *default* network models **no
+//! internal contention**: the route stage is absent, messages from
+//! different senders never interfere in the wire, and contention
+//! exists only at the endpoints plus the wire latency in between.
+//! See the crate docs for the exact per-message timing equations.
 
 use crate::config::NetConfig;
+use crate::fabric::Fabric;
 use crate::fault::FaultConfig;
 use crate::message::Injection;
 use crate::stats::NetStats;
 use crate::time::Cycles;
+use crate::topology::Topology;
 use crate::trace::{Keep, Trace, TraceEvent};
 
 /// Timing of one delivered message.
@@ -32,6 +46,10 @@ pub struct Delivery {
     /// destination bank (zero without a bank model, for untagged
     /// messages, and whenever the bank was idle at ingestion).
     pub bank_wait: Cycles,
+    /// Cycles this message spent queued behind other traffic at
+    /// fabric links along its route (zero on the flat wire, for
+    /// self-messages, and whenever every link was idle on arrival).
+    pub link_wait: Cycles,
 }
 
 /// A `p`-node network with persistent per-node engine timelines, so
@@ -43,7 +61,10 @@ pub struct Network {
     p: usize,
     send_free: Vec<Cycles>,
     recv_free: Vec<Cycles>,
-    fabric_free: Cycles,
+    /// The routing stage: per-link FIFO forwarding state. `None` on
+    /// the paper's flat wire — the pipeline then skips the stage, so
+    /// the default arithmetic is exactly the original simulator's.
+    fabric: Option<Fabric>,
     /// Per-(node, bank) service timelines of the opt-in bank stage,
     /// `p × banks_per_node` dense; empty when no bank model is
     /// configured.
@@ -54,7 +75,6 @@ pub struct Network {
     // path of every exchange allocates nothing in steady state.
     by_sender: Vec<Vec<usize>>,
     by_receiver: Vec<Vec<usize>>,
-    fabric_order: Vec<usize>,
     /// Monotone sequence number for fault-eligible transmissions —
     /// the coordinate [`FaultConfig::drop_at`] keys on.
     fault_seq: u64,
@@ -71,18 +91,17 @@ impl Network {
         let bank_slots = cfg.banks.map_or(0, |b| p * b.banks_per_node);
         Self {
             p,
-            cfg,
             send_free: vec![Cycles::ZERO; p],
             recv_free: vec![Cycles::ZERO; p],
-            fabric_free: Cycles::ZERO,
+            fabric: Fabric::from_config(p, &cfg),
             bank_free: vec![Cycles::ZERO; bank_slots],
             stats: NetStats::default(),
             trace: None,
             by_sender: vec![Vec::new(); p],
             by_receiver: vec![Vec::new(); p],
-            fabric_order: Vec::new(),
             fault_seq: 0,
             dropped: Vec::new(),
+            cfg,
         }
     }
 
@@ -97,14 +116,19 @@ impl Network {
     }
 
     /// Reset all engine timelines to zero and clear statistics (the
-    /// fault sequence counter too, so faulted runs replay exactly).
+    /// fault sequence counter and the last batch's drop flags too, so
+    /// faulted runs replay exactly and nothing stale leaks into the
+    /// next run).
     pub fn reset(&mut self) {
         self.send_free.fill(Cycles::ZERO);
         self.recv_free.fill(Cycles::ZERO);
-        self.fabric_free = Cycles::ZERO;
+        if let Some(f) = self.fabric.as_mut() {
+            f.reset();
+        }
         self.bank_free.fill(Cycles::ZERO);
         self.stats.clear();
         self.fault_seq = 0;
+        self.dropped.clear();
     }
 
     /// Declare that `node` is busy (e.g. computing) until `t`; its
@@ -132,6 +156,18 @@ impl Network {
     /// Accumulated statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// The active routing stage's topology, if any (`None` on the
+    /// paper's flat contention-free wire).
+    pub fn topology(&self) -> Option<&dyn Topology> {
+        self.fabric.as_ref().map(|f| f.router())
+    }
+
+    /// Number of directed links in the routing stage (0 on the flat
+    /// wire).
+    pub fn link_count(&self) -> usize {
+        self.fabric.as_ref().map_or(0, |f| f.links())
     }
 
     /// Start capturing a bounded event trace keeping the first `cap`
@@ -247,20 +283,42 @@ impl Network {
                 None => self.dropped.resize(msgs.len(), false),
             }
         }
-        let latency = Cycles::new(self.cfg.latency);
-        let n = msgs.len();
         deliveries.clear();
         deliveries.resize(
-            n,
+            msgs.len(),
             Delivery {
                 depart: Cycles::ZERO,
                 arrive: Cycles::ZERO,
                 visible: Cycles::ZERO,
                 bank_wait: Cycles::ZERO,
+                link_wait: Cycles::ZERO,
             },
         );
 
-        // Pass 1: per-sender departures.
+        // Stage 1: per-sender NIC injection.
+        self.stage_inject(msgs, deliveries, &faults);
+
+        // Stage 2 (extension, absent by default): route each
+        // inter-node message hop-by-hop over per-link FIFO queues,
+        // in deterministic (depart, src, index) order.
+        if let Some(fabric) = self.fabric.as_mut() {
+            fabric.forward(msgs, deliveries, &mut self.stats);
+        }
+
+        // Stage 3: per-receiver ingestion (and the opt-in bank FIFO).
+        self.stage_ingest(msgs, deliveries, faulty);
+    }
+
+    /// Pipeline stage 1: each sender's NIC serializes its messages in
+    /// `(ready, input index)` order, stamping `depart` and the
+    /// flat-wire `arrive` (self-messages skip the wire entirely).
+    fn stage_inject(
+        &mut self,
+        msgs: &[Injection],
+        deliveries: &mut [Delivery],
+        faults: &Option<FaultConfig>,
+    ) {
+        let latency = Cycles::new(self.cfg.latency);
         for queue in self.by_sender.iter_mut() {
             queue.clear();
         }
@@ -285,7 +343,7 @@ impl Network {
                 // degraded gap/latency; the fault-free arm is the exact
                 // original arithmetic, so zero-fault runs are
                 // byte-identical.
-                let (start, busy, lat) = match &faults {
+                let (start, busy, lat) = match faults {
                     Some(f) => {
                         let start = f.stall_release(src, m.ready.max(free));
                         let (lat_f, gap_f) = f.degrade_factors(start);
@@ -303,31 +361,12 @@ impl Network {
             }
             self.send_free[src] = free;
         }
+    }
 
-        // Pass 1.5 (extension, off by default): shared-fabric
-        // contention. Every inter-node message serializes through one
-        // machine-wide resource between departure and the wire, in
-        // deterministic (depart, src, index) order.
-        if let Some(fabric_gap) = self.cfg.fabric_gap_per_byte {
-            self.fabric_order.clear();
-            self.fabric_order.extend((0..n).filter(|&i| msgs[i].src != msgs[i].dst));
-            let order = &mut self.fabric_order;
-            order.sort_by(|&a, &b| {
-                deliveries[a]
-                    .depart
-                    .cmp(&deliveries[b].depart)
-                    .then_with(|| msgs[a].src.cmp(&msgs[b].src))
-                    .then_with(|| a.cmp(&b))
-            });
-            for &i in self.fabric_order.iter() {
-                let occupy = Cycles::new(fabric_gap * msgs[i].bytes as f64);
-                let start = deliveries[i].depart.max(self.fabric_free);
-                self.fabric_free = start + occupy;
-                deliveries[i].arrive = self.fabric_free + latency;
-            }
-        }
-
-        // Pass 2: per-receiver ingestion in arrival order.
+    /// Pipeline stage 3: each receiver's engine ingests arrivals in
+    /// `(arrive, src, input index)` order; banked messages then queue
+    /// FIFO at their destination bank.
+    fn stage_ingest(&mut self, msgs: &[Injection], deliveries: &mut [Delivery], faulty: bool) {
         for queue in self.by_receiver.iter_mut() {
             queue.clear();
         }
@@ -802,6 +841,132 @@ mod tests {
         let mut n = Network::new(2, cfg);
         let d = n.transmit(&[inj(1, 1, 40, 0.0)]);
         assert_eq!(d[0].visible.get(), (400.0 + 120.0) * 2.0);
+    }
+
+    use crate::topology::TopologyKind;
+
+    fn topo_net(p: usize, t: TopologyKind) -> Network {
+        let cfg = NetConfig { topology: t, ..NetConfig::paper_default() };
+        Network::new(p, cfg)
+    }
+
+    #[test]
+    fn explicit_flat_topology_is_the_default_pipeline() {
+        // TopologyKind::Flat must not merely approximate the paper
+        // pipeline — it must *be* it (no link stage at all).
+        let msgs: Vec<_> = (0..40)
+            .map(|i| inj(i % 4, (i * 3 + 1) % 4, (i as u64 * 17) % 300, (i % 5) as f64))
+            .collect();
+        let mut flat = topo_net(4, TopologyKind::Flat);
+        assert!(flat.topology().is_none());
+        assert_eq!(flat.link_count(), 0);
+        let mut plain = net(4);
+        assert_eq!(flat.transmit(&msgs), plain.transmit(&msgs));
+        assert_eq!(flat.stats(), plain.stats());
+        assert!(flat.stats().link_msgs.is_empty());
+    }
+
+    #[test]
+    fn one_link_fabric_is_the_legacy_fabric_arithmetic() {
+        // The fabric_gap extension now runs through the generic link
+        // pipeline; its numbers must match the pre-refactor scalar
+        // path, whose exact values the fabric tests above pin.
+        let cfg = NetConfig { fabric_gap_per_byte: Some(3.0), ..NetConfig::paper_default() };
+        let mut n = Network::new(4, cfg);
+        assert_eq!(n.link_count(), 1);
+        let d = n.transmit(&[inj(0, 1, 1000, 0.0), inj(2, 3, 1000, 0.0)]);
+        // First flow: depart 400+3000 = 3400, link busy 3000, arrive
+        // 6400+1600 = 8000. Second departs 3400 too but queues behind
+        // the first's link slot: start 6400, arrive 9400+1600 = 11000.
+        assert_eq!(d[0].arrive.get(), 8000.0);
+        assert_eq!(d[1].arrive.get(), 11_000.0);
+        assert_eq!(d[0].link_wait, Cycles::ZERO);
+        assert_eq!(d[1].link_wait.get(), 3000.0);
+        assert_eq!(n.stats().link_msgs, vec![2]);
+        assert_eq!(n.stats().link_bytes, vec![2000]);
+        assert_eq!(n.stats().link_peak_demand, vec![2]);
+    }
+
+    #[test]
+    fn line_topology_prices_distance() {
+        // Line of 4, diameter 3, hop latency 1600/3. A neighbor hop
+        // pays one link service + one hop latency; the far pair pays
+        // three of each.
+        let mut n = topo_net(4, TopologyKind::Line);
+        let near = n.transmit(&[inj(0, 1, 100, 0.0)]);
+        n.reset();
+        let far = n.transmit(&[inj(0, 3, 100, 0.0)]);
+        let hop = 300.0 + 1600.0 / 3.0; // link service + hop latency
+        assert!((near[0].arrive.get() - (700.0 + hop)).abs() < 1e-6);
+        assert!((far[0].arrive.get() - (700.0 + 3.0 * hop)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn line_topology_contends_on_shared_links() {
+        // 0->2 and 1->2 share the directed link 1->2: the second
+        // message queues behind the first's occupancy.
+        let mut n = topo_net(3, TopologyKind::Line);
+        let d = n.transmit(&[inj(0, 2, 1000, 0.0), inj(1, 2, 1000, 0.0)]);
+        assert!(
+            d[0].link_wait > Cycles::ZERO || d[1].link_wait > Cycles::ZERO,
+            "shared line link must queue one of the flows: {d:?}"
+        );
+        let waited: Vec<_> = d.iter().filter(|x| x.link_wait > Cycles::ZERO).collect();
+        assert!(!waited.is_empty());
+    }
+
+    #[test]
+    fn fat_tree_keeps_disjoint_pairs_independent() {
+        // Full bisection: two disjoint flows see identical timing, as
+        // on the flat wire (their routes share no links).
+        let mut n = topo_net(4, TopologyKind::FatTree);
+        let d = n.transmit(&[inj(0, 1, 1000, 0.0), inj(2, 3, 1000, 0.0)]);
+        assert_eq!(d[0].visible, d[1].visible);
+        assert!(d.iter().all(|x| x.link_wait == Cycles::ZERO));
+    }
+
+    #[test]
+    fn torus_counters_conserve_hops() {
+        let mut n = topo_net(4, TopologyKind::torus(4));
+        let msgs: Vec<_> = (0..20).map(|i| inj(i % 4, (i + 1) % 4, 64, 0.0)).collect();
+        n.transmit(&msgs);
+        let topo = n.topology().expect("torus routes");
+        let total_hops: u64 = msgs.iter().map(|m| topo.route(m.src, m.dst).len() as u64).sum();
+        assert_eq!(n.stats().link_msgs.iter().sum::<u64>(), total_hops);
+        assert_eq!(n.stats().link_bytes.iter().sum::<u64>(), 64 * total_hops);
+        assert!(n.stats().link_busy.iter().any(|&b| b > Cycles::ZERO));
+        assert!(n.stats().link_peak_demand.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn reused_network_replays_exactly_after_reset() {
+        // Regression (reset audit): run the same batch twice around a
+        // reset — deliveries, stats (including per-link counters),
+        // and drop flags must all replay bit-exactly, with nothing
+        // stale surviving the reset.
+        let cfg = NetConfig {
+            topology: TopologyKind::torus(4),
+            faults: Some(FaultConfig::drops(7, 0.3)),
+            ..NetConfig::paper_default()
+        };
+        let mut n = Network::new(4, cfg);
+        let msgs: Vec<_> =
+            (0..60).map(|i| inj(i % 4, (i * 3 + 1) % 4, (i as u64 * 13) % 200, 0.0)).collect();
+        let mut d1 = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d1);
+        let drops1 = n.last_dropped().to_vec();
+        let stats1 = n.stats().clone();
+        assert!(stats1.link_msgs.iter().sum::<u64>() > 0);
+
+        n.reset();
+        assert!(n.last_dropped().is_empty(), "drop flags must not survive reset");
+        assert_eq!(n.stats(), &NetStats::default());
+
+        let mut d2 = Vec::new();
+        n.transmit_into_faulty(&msgs, &mut d2);
+        assert_eq!(d1, d2);
+        assert_eq!(drops1, n.last_dropped());
+        assert_eq!(&stats1, n.stats());
     }
 }
 

@@ -23,6 +23,18 @@ pub struct NetStats {
     /// Transmissions lost to fault injection (never delivered; not
     /// counted in `messages`). Always 0 on a fault-free network.
     pub dropped: u64,
+    /// Messages forwarded over each directed link of the topology
+    /// stage (empty — no links — on the flat contention-free wire).
+    pub link_msgs: Vec<u64>,
+    /// Wire bytes forwarded over each directed link.
+    pub link_bytes: Vec<u64>,
+    /// Cycles each directed link spent occupied serializing traffic
+    /// (its utilization numerator; divide by elapsed time).
+    pub link_busy: Vec<Cycles>,
+    /// Peak per-transmission demand on each directed link: the
+    /// largest number of messages routed over it within one
+    /// transmitted batch since the last reset.
+    pub link_peak_demand: Vec<u64>,
     /// Per-kind message counts, indexed by [`MsgKind::index`].
     by_kind: [u64; MsgKind::COUNT],
     /// Per-kind wire bytes, indexed by [`MsgKind::index`].
@@ -60,6 +72,17 @@ impl NetStats {
             .iter()
             .map(|&k| (k, self.by_kind[k.index()], self.bytes_by_kind[k.index()]))
             .filter(|&(_, n, _)| n > 0)
+    }
+
+    /// Size the per-link counters for a topology of `links` directed
+    /// links (idempotent; counters persist across transmissions).
+    pub fn ensure_links(&mut self, links: usize) {
+        if self.link_msgs.len() < links {
+            self.link_msgs.resize(links, 0);
+            self.link_bytes.resize(links, 0);
+            self.link_busy.resize(links, Cycles::ZERO);
+            self.link_peak_demand.resize(links, 0);
+        }
     }
 
     /// Reset all counters.
