@@ -35,6 +35,7 @@ use qsm_core::SimMachine;
 use qsm_simnet::{MachineConfig, TopologyKind};
 
 use crate::output::{csv, table, us_at_400mhz};
+use crate::replay::Replay;
 use crate::{Report, RunCfg};
 
 /// Topologies swept, in increasing-diameter order (flat first as the
@@ -72,6 +73,25 @@ struct Measured {
     link_wait: f64,
     link_util: f64,
     qsm_pred: f64,
+}
+
+// Journal round-trip by field order, so a crashed topology sweep can
+// be resumed (`QSM_RESUME=1`) with replayed rows bit-exact.
+impl Replay for Measured {
+    fn encode(&self, out: &mut Vec<String>) {
+        self.comm.encode(out);
+        self.link_wait.encode(out);
+        self.link_util.encode(out);
+        self.qsm_pred.encode(out);
+    }
+    fn decode(it: &mut std::slice::Iter<'_, String>) -> Option<Self> {
+        Some(Measured {
+            comm: f64::decode(it)?,
+            link_wait: f64::decode(it)?,
+            link_util: f64::decode(it)?,
+            qsm_pred: f64::decode(it)?,
+        })
+    }
 }
 
 /// Run one algorithm on a [`P`]-node paper-default machine carrying

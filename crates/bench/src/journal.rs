@@ -1,33 +1,62 @@
-//! `QSM_RUN_LOG` — the structured per-point run journal.
+//! `QSM_RUN_LOG` — the structured per-point run journal, and the
+//! `QSM_RESUME` checkpoint ledger built on it.
 //!
-//! With `QSM_RUN_LOG=path.jsonl` set, the sweep executor appends one
-//! self-describing JSON record per completed measurement point —
-//! successful or failed — to the journal:
+//! With `QSM_RUN_LOG=path.jsonl` set, the sweep executor appends
+//! self-describing JSON records to the journal. Two record kinds
+//! cover each measurement point's lifecycle:
+//!
+//! * `sweep_claim` — appended when a worker *starts* a point, before
+//!   any work: `{"v":1,"kind":"sweep_claim","figure":"fig1",
+//!   "fingerprint":"…","point":3,"total":10}`. The claim makes the
+//!   journal a work ledger (a future PR can distribute one sweep
+//!   across processes by treating an unclaimed point as available),
+//!   and `claim` records without a matching completion pinpoint
+//!   where a crashed run died.
+//! * `sweep_point` — appended when the point completes:
 //!
 //! ```json
 //! {"v":1,"kind":"sweep_point","figure":"fig1","backend":"sim",
-//!  "p":16,"reps":1,"fast":true,"point":3,"total":10,"jobs":4,
-//!  "duration_ms":12.345,"retries":0,"dropped_msgs":0,"status":"ok"}
+//!  "p":16,"reps":1,"fast":true,"topology":"flat","topo_params":"",
+//!  "banks":0,"fingerprint":"9bfca1f20c1d3e47","point":3,"total":10,
+//!  "jobs":4,"duration_ms":12.345,"retries":0,"dropped_msgs":0,
+//!  "result":["65536","1.5","42.0"],"status":"ok"}
 //! ```
 //!
-//! Each line is written and flushed atomically (see
-//! [`qsm_obs::RunJournal`]), so the journal can be tailed mid-sweep
-//! and is safe across process crashes — the substrate a resumable
-//! sweep executor can later treat as a work-claim ledger. Records
-//! carry `"v"` and `"kind"` so readers skip what they do not
+//! The `fingerprint` is a hash of everything that determines the
+//! sweep's results — figure, backend, `p`, reps, fast mode, the
+//! machine-extension knobs (topology, link gap, banks, fault seed),
+//! and the point count — and `result` is the point's result encoded
+//! via [`crate::replay::Replay`]. Together they make a completed
+//! point *detectably recoverable*: a rerun with `QSM_RESUME=1` loads
+//! the journal, replays the `ok` records whose fingerprint matches
+//! its own configuration bit-exactly, and re-runs everything else
+//! (failed points, unfinished points, and — on any fingerprint
+//! mismatch — the whole sweep, so a stale journal can never poison
+//! an artifact). Every line is written durably (see
+//! [`qsm_obs::RunJournal`]: flush + `sync_data`, opt out with
+//! `QSM_JOURNAL_SYNC=0`), so the ledger survives exactly the crashes
+//! it exists for.
+//!
+//! Records carry `"v"` and `"kind"` so readers skip what they do not
 //! understand. Unlike the metrics dump, the journal is *not*
 //! byte-stable across `QSM_JOBS`: concurrent points complete (and
 //! log) in scheduling order, and durations are wall-clock. Every
-//! line is valid JSON in any order, which is what the CI smoke job
-//! checks.
+//! line is valid JSON in any order, which is what the CI smoke jobs
+//! check.
 //!
 //! An unusable `QSM_RUN_LOG` value warns once with the offending
 //! value and disables journaling (the same discipline as
-//! `QSM_TRACE`/`QSM_METRICS`; see [`crate::obs`]).
+//! `QSM_TRACE`/`QSM_METRICS`; see [`crate::obs`]). The journal's
+//! parent directory is created first if missing — a journal pointed
+//! into the `QSM_RESULTS_DIR` the run itself creates later must not
+//! be silently disabled for the whole process by winning that race.
 
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
-use qsm_obs::{json_escape, RunJournal};
+use qsm_obs::{json_escape, read_complete_lines, RunJournal};
+
+use crate::jsonl::{parse_object, Json};
 
 /// Figure/sweep context the next records are attributed to.
 #[derive(Debug, Clone)]
@@ -39,14 +68,38 @@ struct SweepCtx {
 }
 
 static CTX: Mutex<Option<SweepCtx>> = Mutex::new(None);
-static JOURNAL: OnceLock<Option<RunJournal>> = OnceLock::new();
+static JOURNAL: OnceLock<Option<(RunJournal, PathBuf)>> = OnceLock::new();
 
-fn journal() -> Option<&'static RunJournal> {
+/// Open the journal at `path`, creating its parent directory if
+/// missing. The separate-from-env half of journal setup, so the
+/// parent-dir resolution is testable without racing on process-wide
+/// environment state.
+pub(crate) fn open_at(path: &Path) -> std::io::Result<RunJournal> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    RunJournal::open(path)
+}
+
+fn journal() -> Option<&'static (RunJournal, PathBuf)> {
     JOURNAL
         .get_or_init(|| {
+            // Resolve the parent directory *before* the writability
+            // probe: `QSM_RUN_LOG` often points into the results dir
+            // that `QSM_RESULTS_DIR` setup only creates later in the
+            // same run, and the `OnceLock` caches whatever this first
+            // open decides for the rest of the process.
+            let path = crate::obs::env_path("QSM_RUN_LOG")?;
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
             let path = crate::obs::checked_path("QSM_RUN_LOG", "run journal")?;
-            match RunJournal::open(&path) {
-                Ok(j) => Some(j),
+            match open_at(&path) {
+                Ok(j) => Some((j, path)),
                 Err(e) => {
                     // `checked_path` probed writability, so this is a
                     // race (e.g. the directory vanished); same loud
@@ -69,12 +122,100 @@ pub(crate) fn active() -> bool {
     journal().is_some()
 }
 
+/// Whether the user asked for a resumed sweep (`QSM_RESUME` set to
+/// anything but `0`). Warns once if there is no journal to resume
+/// from — a resume that silently re-runs everything is the failure
+/// mode this knob exists to end.
+pub(crate) fn resume_requested() -> bool {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    let requested = std::env::var("QSM_RESUME").map(|v| v != "0").unwrap_or(false);
+    if requested && !active() {
+        WARNED.get_or_init(|| {
+            eprintln!(
+                "warning: QSM_RESUME is set but QSM_RUN_LOG is not usable; \
+                 nothing to resume from — running the full sweep"
+            );
+        });
+        return false;
+    }
+    requested
+}
+
 /// Attribute subsequent sweep points to `figure` under `cfg`. Each
 /// figure's entry point calls this before running its sweeps; a
 /// binary running several figures (`all`) just re-points the context.
 pub fn set_figure(figure: &'static str, cfg: &crate::RunCfg) {
     let mut ctx = CTX.lock().unwrap_or_else(|e| e.into_inner());
     *ctx = Some(SweepCtx { figure, p: cfg.p, reps: cfg.reps, fast: cfg.fast });
+}
+
+fn current_ctx() -> SweepCtx {
+    CTX.lock().unwrap_or_else(|e| e.into_inner()).clone().unwrap_or(SweepCtx {
+        figure: "?",
+        p: 0,
+        reps: 0,
+        fast: false,
+    })
+}
+
+/// FNV-1a over `s` — a stable, dependency-free content hash for the
+/// configuration fingerprint (collision resistance is irrelevant:
+/// the fingerprint guards against *configuration drift*, not an
+/// adversary).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The identity every record of one sweep carries: a hash of the
+/// figure, backend, run configuration, machine-extension knobs, and
+/// the sweep's point count. Two runs share a fingerprint exactly
+/// when their journaled results are interchangeable — the property
+/// `QSM_RESUME` replay rests on. `QSM_PANIC_POINT` is deliberately
+/// excluded: the kill drill must not change the identity of the
+/// sweep it kills, or the resumed run could never match it.
+pub(crate) fn fingerprint(total: usize) -> String {
+    let ctx = current_ctx();
+    let topo = crate::backend::env_topology(ctx.p.max(1)).unwrap_or_default();
+    let banks = crate::backend::env_banks();
+    let knob = |name: &str| std::env::var(name).unwrap_or_default();
+    let key = format!(
+        "{}|{}|p={}|reps={}|fast={}|topo={}:{}|banks={}|bank_service={}|total={total}\
+         |fault_seed={}|link_gap={}",
+        ctx.figure,
+        crate::backend::Backend::from_env().name(),
+        ctx.p,
+        ctx.reps,
+        ctx.fast,
+        topo.name(),
+        topo.params(),
+        banks.map(|b| b.banks_per_node).unwrap_or(0),
+        banks.map(|b| b.service_per_byte).unwrap_or(0.0),
+        knob("QSM_FAULT_SEED"),
+        knob("QSM_LINK_GAP"),
+    );
+    format!("{:016x}", fnv1a(&key))
+}
+
+/// Append a work-claim record for point `index` of a `total`-point
+/// sweep (no-op when inactive). Written *before* the point runs: a
+/// claim without a later completion marks where a crashed run died.
+pub(crate) fn record_claim(index: usize, total: usize) {
+    let Some((journal, _)) = journal() else { return };
+    let ctx = current_ctx();
+    let line = format!(
+        "{{\"v\":1,\"kind\":\"sweep_claim\",\"figure\":\"{}\",\"fingerprint\":\"{}\",\
+         \"point\":{index},\"total\":{total}}}",
+        json_escape(ctx.figure),
+        fingerprint(total),
+    );
+    if let Err(e) = journal.append(&line) {
+        eprintln!("warning: cannot append to QSM_RUN_LOG: {e}");
+    }
 }
 
 /// One completed sweep point, reported by the executor.
@@ -85,18 +226,18 @@ pub(crate) struct PointRecord<'a> {
     pub duration_ms: f64,
     pub retries: u64,
     pub dropped_msgs: u64,
+    /// The point's [`crate::replay::Replay`]-encoded result;
+    /// `None` for failed points.
+    pub result: Option<Vec<String>>,
     /// Panic message of a failed point; `None` means success.
     pub error: Option<&'a str>,
 }
 
 /// Append `rec` to the journal (no-op when inactive).
 pub(crate) fn record_point(rec: &PointRecord<'_>) {
-    let Some(journal) = journal() else { return };
-    let ctx = CTX.lock().unwrap_or_else(|e| e.into_inner()).clone();
-    let (figure, p, reps, fast) = match &ctx {
-        Some(c) => (c.figure, c.p, c.reps, c.fast),
-        None => ("?", 0, 0, false),
-    };
+    let Some((journal, _)) = journal() else { return };
+    let ctx = current_ctx();
+    let (figure, p, reps, fast) = (ctx.figure, ctx.p, ctx.reps, ctx.fast);
     // The active fabric topology and bank count, so a journal line is
     // attributable to the exact machine extension knobs it ran under.
     let topo = crate::backend::env_topology(p.max(1)).unwrap_or_default();
@@ -105,12 +246,14 @@ pub(crate) fn record_point(rec: &PointRecord<'_>) {
         "{{\"v\":1,\"kind\":\"sweep_point\",\"figure\":\"{}\",\"backend\":\"{}\",\
          \"p\":{p},\"reps\":{reps},\"fast\":{fast},\
          \"topology\":\"{}\",\"topo_params\":\"{}\",\"banks\":{banks},\
+         \"fingerprint\":\"{}\",\
          \"point\":{},\"total\":{},\"jobs\":{},\
          \"duration_ms\":{:.3},\"retries\":{},\"dropped_msgs\":{}",
         json_escape(figure),
         crate::backend::Backend::from_env().name(),
         topo.name(),
         topo.params(),
+        fingerprint(rec.total),
         rec.index,
         rec.total,
         rec.jobs,
@@ -118,6 +261,18 @@ pub(crate) fn record_point(rec: &PointRecord<'_>) {
         rec.retries,
         rec.dropped_msgs,
     );
+    if let Some(fields) = &rec.result {
+        line.push_str(",\"result\":[");
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            line.push_str(&json_escape(f));
+            line.push('"');
+        }
+        line.push(']');
+    }
     match rec.error {
         None => line.push_str(",\"status\":\"ok\"}"),
         Some(msg) => {
@@ -126,5 +281,91 @@ pub(crate) fn record_point(rec: &PointRecord<'_>) {
     }
     if let Err(e) = journal.append(&line) {
         eprintln!("warning: cannot append to QSM_RUN_LOG: {e}");
+    }
+}
+
+/// Load the replayable results for the current figure's `total`-point
+/// sweep: every journaled `sweep_point` record that completed `ok`,
+/// carries a `result`, and matches this run's fingerprint. Keyed by
+/// point index; when a point was journaled more than once (a sweep
+/// resumed twice, or rerun into the same ledger) the latest record
+/// wins. Unparseable lines — including a crash's quarantined torn
+/// tail — are skipped, never fatal.
+pub(crate) fn load_replay(total: usize) -> std::collections::HashMap<usize, Vec<String>> {
+    let mut out = std::collections::HashMap::new();
+    let Some((_, path)) = journal() else { return out };
+    let lines = match read_complete_lines(path) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("warning: cannot read QSM_RUN_LOG for resume: {e}");
+            return out;
+        }
+    };
+    let want = fingerprint(total);
+    for line in &lines {
+        let Some(rec) = parse_object(line) else { continue };
+        if rec.get("kind").and_then(Json::as_str) != Some("sweep_point")
+            || rec.get("status").and_then(Json::as_str) != Some("ok")
+            || rec.get("fingerprint").and_then(Json::as_str) != Some(want.as_str())
+            || rec.get("total").and_then(Json::as_usize) != Some(total)
+        {
+            continue;
+        }
+        let Some(point) = rec.get("point").and_then(Json::as_usize) else { continue };
+        let Some(result) = rec.get("result").and_then(Json::as_str_vec) else { continue };
+        if point < total {
+            out.insert(point, result);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_at_creates_missing_parent_directories() {
+        // The transient-open-failure fix: a journal pointed into a
+        // directory that does not exist yet must come up writable,
+        // not be disabled for the whole process.
+        let dir = std::env::temp_dir()
+            .join(format!("qsm-bench-journal-{}", std::process::id()))
+            .join("nested")
+            .join("deeper");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.jsonl");
+        let j = open_at(&path).expect("open_at should create parent dirs");
+        j.append(r#"{"v":1,"kind":"probe"}"#).unwrap();
+        assert_eq!(read_complete_lines(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        // Same context twice: identical. (The context is process
+        // global; use a dedicated figure name so concurrent tests
+        // cannot interleave half an update.)
+        let cfg = crate::RunCfg { p: 16, reps: 3, fast: false };
+        set_figure("fingerprint_test", &cfg);
+        let a = fingerprint(10);
+        assert_eq!(a, fingerprint(10));
+        assert_eq!(a.len(), 16, "zero-padded 64-bit hex");
+        // Any identity-relevant change moves it.
+        assert_ne!(a, fingerprint(11), "point count must be part of the identity");
+        let cfg2 = crate::RunCfg { p: 16, reps: 4, fast: false };
+        set_figure("fingerprint_test", &cfg2);
+        assert_ne!(a, fingerprint(10), "reps must be part of the identity");
+        set_figure("fingerprint_test", &cfg);
+        assert_eq!(a, fingerprint(10), "restoring the config restores the fingerprint");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors, so the hash is the function
+        // we claim (fingerprints outlive any one process).
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
     }
 }

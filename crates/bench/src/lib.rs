@@ -32,18 +32,25 @@
 //! a Perfetto trace of the run, `QSM_METRICS=path.json` dumps the
 //! run-wide metrics registry (byte-stable across `QSM_JOBS`),
 //! `QSM_PROGRESS=1` reports per-point sweep durations (with a running
-//! ETA) on stderr, and `QSM_RUN_LOG=path.jsonl` appends one
-//! structured JSON record per completed sweep point to a run journal
-//! (see [`journal`]). The `explain` binary prints a phase-by-phase
-//! measured-vs-predicted breakdown for one algorithm configuration.
+//! ETA) on stderr, and `QSM_RUN_LOG=path.jsonl` keeps a durable
+//! per-point run journal (see [`journal`]): claim + completion
+//! records with each point's [`replay::Replay`]-encoded result.
+//! `QSM_RESUME=1` turns a rerun against the same journal into a
+//! crash resume — completed points replay from the ledger bit-exactly
+//! and only unfinished points execute — and `QSM_JOURNAL_SYNC=0`
+//! trades the journal's per-record `fdatasync` durability for speed.
+//! The `explain` binary prints a phase-by-phase measured-vs-predicted
+//! breakdown for one algorithm configuration.
 
 #![deny(missing_docs)]
 
 pub mod backend;
 pub mod figures;
 pub mod journal;
+mod jsonl;
 pub mod obs;
 pub mod output;
+pub mod replay;
 pub mod stats;
 pub mod sweep;
 

@@ -39,7 +39,9 @@ pub struct ObsSink {
     metrics: Option<PathBuf>,
 }
 
-fn env_path(name: &str) -> Option<PathBuf> {
+/// Read a path-valued knob without probing it (the journal resolves
+/// the parent directory before the [`checked_path`] probe).
+pub(crate) fn env_path(name: &str) -> Option<PathBuf> {
     std::env::var_os(name).filter(|v| !v.is_empty()).map(PathBuf::from)
 }
 

@@ -7,6 +7,12 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for r in rows {
         assert_eq!(r.len(), ncols, "row width mismatch");
     }
+    if ncols == 0 {
+        // The separator width below is `sum + 2*(ncols-1)`, which
+        // underflows on a zero-column table; there is nothing to
+        // render anyway.
+        return String::new();
+    }
     let mut width = vec![0usize; ncols];
     for (c, h) in headers.iter().enumerate() {
         width[c] = h.len();
@@ -130,5 +136,14 @@ mod tests {
     #[should_panic]
     fn ragged_rows_rejected() {
         let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn zero_column_table_is_empty_not_a_panic() {
+        // Regression: the separator width `sum + 2*(ncols-1)` used to
+        // underflow (debug panic / huge separator in release) on an
+        // empty header list.
+        assert_eq!(table(&[], &[]), "");
+        assert_eq!(table(&[], &[vec![], vec![]]), "");
     }
 }

@@ -23,8 +23,8 @@
 //! process-wide failure registry, and lets the caller emit a partial
 //! artifact — binaries call [`exit_if_degraded`] last, so a degraded
 //! run still exits nonzero. `QSM_PANIC_POINT=i` artificially fails
-//! point `i` of every [`map_surviving`] sweep (a drill for the
-//! degradation path, used by the CI smoke job).
+//! point `i` of every sweep (a drill for the degradation and
+//! crash-resume paths, used by the CI smoke jobs).
 //!
 //! With `QSM_PROGRESS=1` each completed point reports its wall-clock
 //! duration, the sweep's running completion count, and an ETA
@@ -34,15 +34,25 @@
 //! so progress output never perturbs the deterministic results.
 //!
 //! With `QSM_RUN_LOG=path.jsonl` (see [`crate::journal`]) the
-//! executor additionally appends one structured record per completed
-//! point — duration, per-point fault-tally deltas, and ok/failed
-//! status — to the run journal.
+//! executor additionally keeps a durable per-point ledger: a
+//! `sweep_claim` record when a point starts and a `sweep_point`
+//! record — duration, per-point fault-tally deltas, the
+//! [`Replay`]-encoded result, and ok/failed status — when it
+//! completes. Setting `QSM_RESUME=1` on a rerun turns that ledger
+//! into a checkpoint: points whose `ok` record matches the current
+//! configuration fingerprint are *replayed* from the journal
+//! (bit-exact, so every downstream artifact is byte-identical to an
+//! uninterrupted run) and only the rest — failed, unfinished, or
+//! fingerprint-mismatched points — are executed.
 
 use std::any::Any;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+use crate::replay::Replay;
 
 /// Worker-pool size for sweeps whose points each simulate `p_sim`
 /// processors: `QSM_JOBS` if set (minimum 1), else
@@ -158,48 +168,92 @@ pub fn exit_if_degraded() {
 /// Run `f` over every item under a per-point `catch_unwind`, in input
 /// order: `out[i]` is point `i`'s result or its captured panic. The
 /// machinery shared by [`map`] and [`map_surviving`].
+///
+/// With an active run journal and `QSM_RESUME=1`, points already
+/// completed under the same configuration fingerprint are replayed
+/// from the journal instead of executed (see [`crate::journal`]).
 pub fn try_map<I, T, F>(p_sim: usize, items: Vec<I>, f: F) -> Vec<Result<T, PointPanic>>
 where
     I: Send,
-    T: Send,
+    T: Send + Replay,
     F: Fn(usize, I) -> T + Sync,
 {
     let n = items.len();
     let workers = jobs(p_sim).min(n.max(1));
-    let progress = Progress::new(n, workers);
     let journal_on = crate::journal::active();
-    let run_point =
-        |i: usize, item: I| {
-            // Timing and tally snapshots only when someone consumes them
-            // (`QSM_PROGRESS` or `QSM_RUN_LOG`); the default path stays a
-            // bare catch_unwind around `f`.
-            let start = (progress.enabled || journal_on).then(Instant::now);
-            let tally0 = journal_on.then(qsm_core::tally::snapshot);
-            let result = catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| {
-                PointPanic { index: i, message: panic_message(&payload), payload }
+    // Resume: decode every replayable completed point before spending
+    // any work. A record that fails to decode (schema drift from an
+    // older build) is simply re-run — replay is an optimization, never
+    // a correctness dependency.
+    // (`resume_requested` owns the journal check, so asking for a
+    // resume with no usable journal warns instead of silently
+    // re-running everything.)
+    let mut replayed: HashMap<usize, T> = HashMap::new();
+    if crate::journal::resume_requested() {
+        for (i, fields) in crate::journal::load_replay(n) {
+            if let Some(v) = T::decode_fields(&fields) {
+                replayed.insert(i, v);
+            }
+        }
+        eprintln!(
+            "[sweep] resume: replaying {}/{n} completed points from the run journal",
+            replayed.len()
+        );
+    }
+    let progress = Progress::new(n - replayed.len(), workers);
+    let drill = crate::env_usize("QSM_PANIC_POINT");
+    let run_point = |i: usize, item: I| {
+        // Timing and tally snapshots only when someone consumes them
+        // (`QSM_PROGRESS` or `QSM_RUN_LOG`); the default path stays a
+        // bare catch_unwind around `f`.
+        let start = (progress.enabled || journal_on).then(Instant::now);
+        let tally0 = journal_on.then(qsm_core::tally::snapshot);
+        if journal_on {
+            // Claim the point before running it: a claim without a
+            // matching completion marks where a crashed run died.
+            crate::journal::record_claim(i, n);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if Some(i) == drill {
+                panic!("artificial failure injected by QSM_PANIC_POINT={i}");
+            }
+            f(i, item)
+        }))
+        .map_err(|payload| PointPanic {
+            index: i,
+            message: panic_message(&payload),
+            payload,
+        });
+        let ms = start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
+        if progress.enabled {
+            progress.note(i, ms);
+        }
+        if let Some((r0, d0)) = tally0 {
+            // The point ran entirely on this thread, so the calling
+            // thread's tally delta is exactly this point's fault count.
+            let (r1, d1) = qsm_core::tally::snapshot();
+            crate::journal::record_point(&crate::journal::PointRecord {
+                index: i,
+                total: n,
+                jobs: workers,
+                duration_ms: ms,
+                retries: r1.wrapping_sub(r0),
+                dropped_msgs: d1.wrapping_sub(d0),
+                result: result.as_ref().ok().map(Replay::encode_fields),
+                error: result.as_ref().err().map(|p| p.message.as_str()),
             });
-            let ms = start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
-            if progress.enabled {
-                progress.note(i, ms);
-            }
-            if let Some((r0, d0)) = tally0 {
-                // The point ran entirely on this thread, so the calling
-                // thread's tally delta is exactly this point's fault count.
-                let (r1, d1) = qsm_core::tally::snapshot();
-                crate::journal::record_point(&crate::journal::PointRecord {
-                    index: i,
-                    total: n,
-                    jobs: workers,
-                    duration_ms: ms,
-                    retries: r1.wrapping_sub(r0),
-                    dropped_msgs: d1.wrapping_sub(d0),
-                    error: result.as_ref().err().map(|p| p.message.as_str()),
-                });
-            }
-            result
-        };
+        }
+        result
+    };
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| run_point(i, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| match replayed.remove(&i) {
+                Some(t) => Ok(t),
+                None => run_point(i, item),
+            })
+            .collect();
     }
 
     // Work-stealing over the index space: a shared cursor hands out
@@ -213,12 +267,19 @@ where
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<Result<T, PointPanic>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
+    // Replayed points are pre-filled results; workers skip them.
+    for (i, t) in replayed {
+        *results[i].lock().expect("sweep result lock poisoned") = Some(Ok(t));
+    }
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
+                }
+                if results[i].lock().expect("sweep result lock poisoned").is_some() {
+                    continue; // replayed from the journal
                 }
                 let item = slots[i]
                     .lock()
@@ -254,7 +315,7 @@ where
 pub fn map<I, T, F>(p_sim: usize, items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
-    T: Send,
+    T: Send + Replay,
     F: Fn(usize, I) -> T + Sync,
 {
     let mut out = Vec::new();
@@ -283,21 +344,16 @@ where
 /// fully independent rows, this turns one exploding configuration
 /// into a partial artifact instead of a lost run.
 ///
-/// `QSM_PANIC_POINT=i` injects an artificial panic at point `i`, a
+/// `QSM_PANIC_POINT=i` (handled in [`try_map`], so it also covers
+/// [`map`]-based sweeps) injects an artificial panic at point `i`, a
 /// drill for this degradation path.
 pub fn map_surviving<I, T, F>(p_sim: usize, items: Vec<I>, f: F) -> Vec<(usize, T)>
 where
     I: Send,
-    T: Send,
+    T: Send + Replay,
     F: Fn(usize, I) -> T + Sync,
 {
-    let drill = crate::env_usize("QSM_PANIC_POINT");
-    let results = try_map(p_sim, items, move |i, item| {
-        if Some(i) == drill {
-            panic!("artificial failure injected by QSM_PANIC_POINT={i}");
-        }
-        f(i, item)
-    });
+    let results = try_map(p_sim, items, f);
     let mut out = Vec::new();
     for (i, r) in results.into_iter().enumerate() {
         match r {

@@ -1,0 +1,166 @@
+//! End-to-end crash-resume drill for the sweep checkpoint ledger.
+//!
+//! The contract under test (see `qsm_bench::journal` and the
+//! `QSM_RESUME` knob): kill a sweep partway (`QSM_PANIC_POINT`
+//! panics one point, so the binary exits nonzero without emitting a
+//! CSV), rerun it with `QSM_RESUME=1` against the same
+//! `QSM_RUN_LOG`, and the resumed run must (a) produce a CSV
+//! byte-identical to an uninterrupted run, and (b) re-execute *only*
+//! the unfinished point — asserted via journal record counts, since
+//! every executed point leaves a `sweep_claim` record and every
+//! replayed one does not.
+//!
+//! Everything runs in subprocesses (`CARGO_BIN_EXE_ext_topology`)
+//! with a fully scrubbed-and-explicit `QSM_*` environment: in-process
+//! env mutation is racy across tests (see `sweep_determinism.rs`),
+//! subprocess env is not.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Run the `ext_topology` binary with exactly the given `QSM_*`
+/// knobs (every inherited `QSM_*` variable is scrubbed first).
+fn run_ext_topology(dir: &Path, knobs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ext_topology"));
+    for (k, _) in std::env::vars() {
+        if k.starts_with("QSM_") {
+            cmd.env_remove(k);
+        }
+    }
+    cmd.env("QSM_FAST", "1");
+    cmd.env("QSM_RESULTS_DIR", dir.join("results"));
+    for (k, v) in knobs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("ext_topology binary should spawn")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsm-sweep-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn csv(dir: &Path) -> PathBuf {
+    dir.join("results").join("ext_topology.csv")
+}
+
+fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+/// The full drill, at a given worker count.
+fn kill_and_resume_roundtrip(jobs: &str) {
+    let tag = format!("kill-j{jobs}");
+    let clean_dir = fresh_dir(&format!("{tag}-clean"));
+    let crash_dir = fresh_dir(&format!("{tag}-crash"));
+
+    // Uninterrupted oracle run (no journal involved).
+    let out = run_ext_topology(&clean_dir, &[("QSM_JOBS", jobs)]);
+    assert!(out.status.success(), "clean run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let clean_csv = std::fs::read(csv(&clean_dir)).expect("clean run should emit a CSV");
+
+    // Killed run: point 7 of 15 panics; `map` re-raises after
+    // finishing the grid, so the binary dies without a CSV but with a
+    // complete journal for every other point.
+    let journal = crash_dir.join("run.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let out = run_ext_topology(
+        &crash_dir,
+        &[("QSM_JOBS", jobs), ("QSM_RUN_LOG", journal_s), ("QSM_PANIC_POINT", "7")],
+    );
+    assert!(!out.status.success(), "the killed run must exit nonzero");
+    assert!(!csv(&crash_dir).exists(), "a killed run must not emit a CSV");
+    let ledger = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(count_occurrences(&ledger, "\"kind\":\"sweep_claim\""), 15, "all points claimed");
+    assert_eq!(count_occurrences(&ledger, "\"status\":\"ok\""), 14);
+    assert_eq!(count_occurrences(&ledger, "\"status\":\"failed\""), 1);
+
+    // Resume: replay the 14 completed points, execute only point 7.
+    let out = run_ext_topology(
+        &crash_dir,
+        &[("QSM_JOBS", jobs), ("QSM_RUN_LOG", journal_s), ("QSM_RESUME", "1")],
+    );
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resume: replaying 14/15 completed points"),
+        "resume should report its replay count, got:\n{stderr}"
+    );
+    let resumed_csv = std::fs::read(csv(&crash_dir)).expect("resumed run should emit the CSV");
+    assert_eq!(
+        resumed_csv, clean_csv,
+        "resumed CSV must be byte-identical to the uninterrupted run (jobs={jobs})"
+    );
+    let ledger = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        count_occurrences(&ledger, "\"kind\":\"sweep_claim\""),
+        16,
+        "exactly one point may re-execute on resume"
+    );
+    assert_eq!(count_occurrences(&ledger, "\"status\":\"ok\""), 15);
+    assert_eq!(count_occurrences(&ledger, "\"status\":\"failed\""), 1);
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn killed_sweep_resumes_to_a_byte_identical_csv_serially() {
+    kill_and_resume_roundtrip("1");
+}
+
+#[test]
+fn killed_sweep_resumes_to_a_byte_identical_csv_in_parallel() {
+    kill_and_resume_roundtrip("4");
+}
+
+#[test]
+fn stale_journal_is_fully_rerun_never_replayed() {
+    let clean_dir = fresh_dir("stale-clean");
+    let stale_dir = fresh_dir("stale");
+
+    // Oracle: default configuration, no journal.
+    let out = run_ext_topology(&clean_dir, &[("QSM_JOBS", "1")]);
+    assert!(out.status.success());
+    let clean_csv = std::fs::read(csv(&clean_dir)).unwrap();
+
+    // A *complete* journal from a different configuration: the link
+    // gap changes every non-flat row, and it is part of the
+    // fingerprint.
+    let journal = stale_dir.join("run.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let out = run_ext_topology(
+        &stale_dir,
+        &[("QSM_JOBS", "1"), ("QSM_RUN_LOG", journal_s), ("QSM_LINK_GAP", "100")],
+    );
+    assert!(out.status.success());
+    let gap_csv = std::fs::read(csv(&stale_dir)).unwrap();
+    assert_ne!(gap_csv, clean_csv, "the link gap must actually change the results");
+
+    // Resume under the *default* configuration: every journaled
+    // record has a stale fingerprint, so nothing may replay — a
+    // poisoned replay would smuggle gap-100 rows into the default
+    // artifact.
+    let out = run_ext_topology(
+        &stale_dir,
+        &[("QSM_JOBS", "1"), ("QSM_RUN_LOG", journal_s), ("QSM_RESUME", "1")],
+    );
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resume: replaying 0/15 completed points"),
+        "a stale journal must replay nothing, got:\n{stderr}"
+    );
+    assert_eq!(std::fs::read(csv(&stale_dir)).unwrap(), clean_csv);
+    let ledger = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        count_occurrences(&ledger, "\"kind\":\"sweep_claim\""),
+        30,
+        "the resume must have re-executed all 15 points"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&stale_dir);
+}

@@ -26,8 +26,9 @@
 //!   [`TraceEvent`] stream (barrier legs included), and counter
 //!   tracks for κ and per-destination queue depth.
 //! * [`RunJournal`] — an append-only JSONL sink for per-sweep-point
-//!   run records (`QSM_RUN_LOG` in the bench harness): one flushed
-//!   line per record, safe to tail mid-run.
+//!   run records (`QSM_RUN_LOG` in the bench harness): one durable
+//!   (flushed + `sync_data`) line per record, safe to tail mid-run
+//!   and to replay after a crash via [`read_complete_lines`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -38,7 +39,7 @@ pub mod perfetto;
 pub mod recorder;
 pub mod span;
 
-pub use journal::{json_escape, RunJournal};
+pub use journal::{json_escape, read_complete_lines, RunJournal};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{ObsData, ObsLevel, Recorder, WireEvent};
 pub use span::{CounterSample, Span, SpanKind};

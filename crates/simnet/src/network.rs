@@ -2,15 +2,15 @@
 //!
 //! Every transmitted batch flows through three explicit stages:
 //!
-//! 1. **Inject** ([`Network::stage_inject`]) — each sender's NIC
+//! 1. **Inject** (`Network::stage_inject`) — each sender's NIC
 //!    serializes its outgoing messages in `(ready, input index)`
 //!    order and stamps departures (and flat-wire arrivals).
-//! 2. **Route** ([`crate::fabric::Fabric`], optional) — with a
+//! 2. **Route** (the internal `Fabric` stage, optional) — with a
 //!    non-flat [`crate::TopologyKind`] (or the legacy one-link
 //!    `fabric_gap_per_byte` extension) each inter-node message is
 //!    forwarded hop-by-hop over per-directed-link FIFO queues,
 //!    rewriting its arrival time.
-//! 3. **Ingest** ([`Network::stage_ingest`]) — each receiver's
+//! 3. **Ingest** (`Network::stage_ingest`) — each receiver's
 //!    engine serializes arrivals, then banked messages queue at
 //!    their destination bank FIFO.
 //!

@@ -5,7 +5,7 @@
 //! This module supplies the structure for the route-aware extension:
 //! a [`Topology`] answers, for every ordered node pair, the sequence
 //! of *directed links* a message traverses, and the
-//! [`crate::fabric::Fabric`] stage charges per-link FIFO occupancy
+//! internal `Fabric` stage charges per-link FIFO occupancy
 //! along that route.
 //!
 //! Concrete topologies:
@@ -16,7 +16,7 @@
 //!   re-expressed as a topology (see `ext_fabric`).
 //! * [`Line`] — nodes on a line, bidirectional neighbor links,
 //!   shortest-path routing. Worst diameter, bisection of one link.
-//! * [`Mesh2d`] / [`Torus2d`] — 2-D grid with X-then-Y
+//! * [`Grid2d`] (`TopologyKind::Mesh2d` / `TopologyKind::Torus2d`) — 2-D grid with X-then-Y
 //!   dimension-order routing; the torus adds wrap-around links and
 //!   picks the shorter direction per axis.
 //! * [`FatTree`] — a two-level tree folded around an ideal
