@@ -3,13 +3,13 @@
 //! microbenchmark across patterns.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qsm_membank::{machine, run_native, simulate, Pattern};
+use qsm_membank::{platform, run_native, simulate, Pattern};
 
 fn bench_bank_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("membank_sim");
     let accesses = 10_000;
     g.throughput(Throughput::Elements(accesses as u64));
-    for m in [machine::smp_native(), machine::cray_t3e()] {
+    for m in [platform::smp_native(), platform::cray_t3e()] {
         for pat in Pattern::all() {
             g.bench_function(BenchmarkId::new(m.name, pat.label()), |b| {
                 b.iter(|| simulate(std::hint::black_box(&m), pat, accesses, 7))

@@ -137,6 +137,65 @@ pub fn banks_from_knobs(banks: Option<usize>, service: Option<usize>) -> Option<
     })
 }
 
+/// Maximum swept offered load of the `ext_service` experiment when
+/// `QSM_SERVICE_LOAD` is unset, as a percentage of the utilization
+/// model's predicted capacity: the sweep's evenly spaced points then
+/// straddle the saturation knee (ρ = 1 = 100%) with margin on both
+/// sides.
+pub const DEFAULT_SERVICE_LOAD_PCT: usize = 200;
+
+/// Logical client population when `QSM_SERVICE_CLIENTS` is unset.
+pub const DEFAULT_SERVICE_CLIENTS: usize = 1_000_000;
+
+/// Hash shards per node when `QSM_SERVICE_SHARDS` is unset.
+pub const DEFAULT_SERVICE_SHARDS_PER_NODE: usize = 64;
+
+/// The serving-scenario knobs selected by the environment, all
+/// through the warn-once [`crate::parse_usize_knob`] path:
+/// `QSM_SERVICE_LOAD` (max swept offered load, % of predicted
+/// capacity), `QSM_SERVICE_CLIENTS` (logical client population),
+/// `QSM_SERVICE_SHARDS` (hash shards per node), and
+/// `QSM_SERVICE_ADMISSION` (admission-control backlog limit in
+/// cycles; `0` or unset runs open-loop with no shedding).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceKnobs {
+    /// Maximum swept offered load, percent of predicted capacity.
+    pub load_pct: usize,
+    /// Logical client population.
+    pub clients: u64,
+    /// Hash shards per node.
+    pub shards_per_node: usize,
+    /// Admission-control backlog limit in cycles (`None` = off).
+    pub admission: Option<f64>,
+}
+
+/// Read the `QSM_SERVICE_*` knobs (see [`ServiceKnobs`]).
+pub fn env_service() -> ServiceKnobs {
+    service_from_knobs(
+        crate::env_usize("QSM_SERVICE_LOAD"),
+        crate::env_usize("QSM_SERVICE_CLIENTS"),
+        crate::env_usize("QSM_SERVICE_SHARDS"),
+        crate::env_usize("QSM_SERVICE_ADMISSION"),
+    )
+}
+
+/// Pure half of [`env_service`]: combine the four parsed knob values.
+/// A `0` (like an unset or unparseable knob) selects each default —
+/// except admission, where `0`/unset means "no admission control".
+pub fn service_from_knobs(
+    load: Option<usize>,
+    clients: Option<usize>,
+    shards: Option<usize>,
+    admission: Option<usize>,
+) -> ServiceKnobs {
+    ServiceKnobs {
+        load_pct: load.filter(|&v| v > 0).unwrap_or(DEFAULT_SERVICE_LOAD_PCT),
+        clients: clients.filter(|&v| v > 0).unwrap_or(DEFAULT_SERVICE_CLIENTS) as u64,
+        shards_per_node: shards.filter(|&v| v > 0).unwrap_or(DEFAULT_SERVICE_SHARDS_PER_NODE),
+        admission: admission.filter(|&v| v > 0).map(|v| v as f64),
+    }
+}
+
 /// Knob names that already produced a warning, so broken topology
 /// knob values warn exactly once per process (the same discipline as
 /// [`qsm_core::knob::parse_usize_knob`]).
@@ -292,6 +351,34 @@ mod tests {
         // A garbage value goes through parse_usize_knob's warn-once
         // fallback, i.e. behaves as unset rather than panicking.
         assert_eq!(banks_from_knobs(parse_usize_knob("QSM_BANKS", Some("lots")), None), None);
+    }
+
+    #[test]
+    fn service_knobs_compose_through_the_strict_parser() {
+        use crate::parse_usize_knob;
+        // All unset: the documented defaults, admission off.
+        let d = service_from_knobs(None, None, None, None);
+        assert_eq!(d.load_pct, DEFAULT_SERVICE_LOAD_PCT);
+        assert_eq!(d.clients, DEFAULT_SERVICE_CLIENTS as u64);
+        assert_eq!(d.shards_per_node, DEFAULT_SERVICE_SHARDS_PER_NODE);
+        assert_eq!(d.admission, None);
+        // Explicit values land; zero means "default" (or "off" for
+        // admission), matching every other QSM_* disable convention.
+        let k = service_from_knobs(Some(120), Some(5_000), Some(16), Some(30_000));
+        assert_eq!(k.load_pct, 120);
+        assert_eq!(k.clients, 5_000);
+        assert_eq!(k.shards_per_node, 16);
+        assert_eq!(k.admission, Some(30_000.0));
+        assert_eq!(service_from_knobs(Some(0), Some(0), Some(0), Some(0)), d);
+        // Garbage goes through parse_usize_knob's warn-once fallback:
+        // it behaves as unset rather than panicking mid-run.
+        let garbage = service_from_knobs(
+            parse_usize_knob("QSM_SERVICE_LOAD", Some("a lot")),
+            parse_usize_knob("QSM_SERVICE_CLIENTS", Some("-3")),
+            parse_usize_knob("QSM_SERVICE_SHARDS", Some("4.5")),
+            parse_usize_knob("QSM_SERVICE_ADMISSION", Some("")),
+        );
+        assert_eq!(garbage, d);
     }
 
     #[test]

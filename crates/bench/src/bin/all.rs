@@ -21,6 +21,7 @@ fn main() {
     qsm_bench::figures::ext_faults::run(&cfg).emit();
     qsm_bench::figures::ext_banks::run(&cfg).emit();
     qsm_bench::figures::ext_topology::run(&cfg).emit();
+    qsm_bench::figures::ext_service::run(&cfg).emit();
     obs.finalize();
     qsm_bench::sweep::exit_if_degraded();
 }

@@ -15,8 +15,14 @@
 //! barriers (`bwait_pct`). The [`qsm_core::CostReport`] summary
 //! follows.
 //!
-//! Knobs: `QSM_ALGO=prefix|samplesort|listrank` (default `prefix`),
-//! `QSM_P` (default 8), `QSM_N` (default 65536),
+//! `QSM_ALGO=service` switches to the open-loop serving scenario
+//! instead: one run of the `ext_service` workload at
+//! `QSM_SERVICE_LOAD`% of predicted capacity, printing each node's
+//! observed NIC/bank busy fraction next to the utilization model's
+//! prediction, the latency percentiles, and the predicted bottleneck.
+//!
+//! Knobs: `QSM_ALGO=prefix|samplesort|listrank|service` (default
+//! `prefix`), `QSM_P` (default 8), `QSM_N` (default 65536),
 //! `QSM_BACKEND=sim|threads` (default `sim`; measured columns switch
 //! from simulated cycles to host nanoseconds, model columns stay in
 //! cycles), plus the usual `QSM_TRACE=path.json` /
@@ -60,6 +66,80 @@ fn run_algo<M: Machine>(
             std::process::exit(2);
         }
     }
+}
+
+/// `QSM_ALGO=service`: one open-loop serving run at
+/// `QSM_SERVICE_LOAD`% of the utilization model's predicted capacity
+/// (the same scenario the `ext_service` figure sweeps), with the
+/// measured per-node busy fractions printed beside the model's
+/// per-resource ρ so a disagreement is visible node by node.
+fn explain_service() {
+    let sink = ObsSink::from_env();
+    let p = env_usize("QSM_P", 8);
+    let fast = std::env::var("QSM_FAST").map(|v| v != "0").unwrap_or(false);
+    let cfg = qsm_bench::RunCfg { p, reps: 1, fast };
+    let base = qsm_bench::figures::ext_service::base_config(&cfg);
+
+    let load_pct = qsm_bench::backend::env_service().load_pct;
+    let capacity = qsm_serve::predict(&base.clone().with_offered(1)).capacity;
+    let offered = (capacity * base.window * load_pct as f64 / 100.0).round() as usize;
+    let svc = base.with_offered(offered);
+    let pred = qsm_serve::predict(&svc);
+    let out = qsm_serve::run(&svc, sink.recorder());
+
+    let pct = |v: f64| format!("{:.1}", v * 100.0);
+    let max = |u: &[f64]| u.iter().fold(0.0f64, |m, &v| m.max(v));
+    let mean = qsm_serve::ServiceOutcome::mean_util;
+    println!("== explain — service, p = {p}, backend = sim ==");
+    println!(
+        "(offered = {offered} txns at {load_pct}% of predicted capacity over a {:.0}-cycle \
+         window; utilization = busy cycles / elapsed; predictions are the open-loop model's \
+         per-resource ρ, capped at 100%)",
+        svc.window
+    );
+    let summary = [
+        ("send", &out.send_util, pred.rho_send),
+        ("recv", &out.recv_util, pred.rho_recv),
+        ("bank", &out.bank_util, pred.rho_bank),
+    ];
+    let rows: Vec<Vec<String>> = summary
+        .iter()
+        .map(|(name, util, rho)| {
+            vec![name.to_string(), pct(mean(util)), pct(max(util)), pct(rho.min(1.0))]
+        })
+        .collect();
+    println!("{}", table(&["resource", "mean_pct", "max_pct", "pred_pct"], &rows));
+
+    let node_rows: Vec<Vec<String>> = (0..p)
+        .map(|i| {
+            vec![
+                format!("n{i}"),
+                pct(out.send_util[i]),
+                pct(out.recv_util[i]),
+                pct(out.bank_util[i]),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["node", "send_pct", "recv_pct", "bank_pct"], &node_rows));
+
+    let tput = out.throughput() * 1e6;
+    println!(
+        "throughput = {tput:.1}/Mcyc (model predicts {:.1}/Mcyc, bottleneck: {}); \
+         completed = {}, rejected = {}, retries = {}, timeouts = {}",
+        pred.throughput * 1e6,
+        pred.bottleneck(),
+        out.completed,
+        out.rejected,
+        out.retries,
+        out.timed_out,
+    );
+    println!(
+        "latency p50 = {:.1}us  p99 = {:.1}us  p999 = {:.1}us (at 400 MHz)",
+        qsm_bench::output::us_at_400mhz(out.latency_percentile(0.5)),
+        qsm_bench::output::us_at_400mhz(out.latency_percentile(0.99)),
+        qsm_bench::output::us_at_400mhz(out.latency_percentile(0.999)),
+    );
+    sink.finalize();
 }
 
 /// For each phase, the processor that entered the barrier last — the
@@ -119,10 +199,16 @@ fn balance_by_phase(data: &ObsData, phases: &[PhaseRecord], p: usize) -> Vec<(f6
 }
 
 fn main() {
+    let algo = std::env::var("QSM_ALGO").unwrap_or_else(|_| "prefix".into());
+    if algo == "service" {
+        // The serving engine is counter-based, not span-based; it
+        // neither needs nor uses the Full-level recorder.
+        explain_service();
+        return;
+    }
     // Full level regardless of QSM_TRACE: the table itself needs the
     // per-processor spans.
     let sink = ObsSink::with_level(Some(ObsLevel::Full));
-    let algo = std::env::var("QSM_ALGO").unwrap_or_else(|_| "prefix".into());
     let backend = Backend::from_env();
     let p = env_usize("QSM_P", 8);
     let n = env_usize("QSM_N", 1 << 16);

@@ -86,6 +86,9 @@ pub fn run(cfg: &RunCfg) -> Report {
     // All six measurements are independent simulations; fan them
     // across the sweep pool and assemble the table (whose rows
     // reference their regime's baseline) serially afterwards.
+    // The config-carrying variant is big, but there are exactly six
+    // short-lived jobs — boxing would buy nothing.
+    #[allow(clippy::large_enum_variant)]
     enum Job {
         A2a(MachineConfig, ExchangeOrder),
         Skew(Layout),

@@ -80,7 +80,7 @@ mod tests {
         let bsp = |l: &str| l.split(',').nth(5).unwrap().parse::<f64>().unwrap();
         // Flat in n (within 25%), and models underestimate.
         let first = comm(lines[0]);
-        let last = comm(*lines.last().unwrap());
+        let last = comm(lines.last().unwrap());
         assert!((last / first - 1.0).abs() < 0.25, "comm not flat: {first} -> {last}");
         for l in &lines {
             assert!(qsm(l) < bsp(l));

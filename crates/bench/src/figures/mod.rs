@@ -18,12 +18,14 @@
 //! | [`ext_faults`] | (ours) | message loss + retry protocol vs reliable-network assumption |
 //! | [`ext_banks`] | (ours) | bank contention through the full get/put/sync pipeline |
 //! | [`ext_topology`] | (ours) | routed multi-hop fabrics vs the flat wire |
+//! | [`ext_service`] | (ours) | open-loop serving: throughput knee vs utilization model |
 
 pub mod ablations;
 pub mod ext_banks;
 pub mod ext_fabric;
 pub mod ext_faults;
 pub mod ext_hotspot;
+pub mod ext_service;
 pub mod ext_straggler;
 pub mod ext_topology;
 pub mod fig1;

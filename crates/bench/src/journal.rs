@@ -185,7 +185,7 @@ pub(crate) fn fingerprint(total: usize) -> String {
     let knob = |name: &str| std::env::var(name).unwrap_or_default();
     let key = format!(
         "{}|{}|p={}|reps={}|fast={}|topo={}:{}|banks={}|bank_service={}|total={total}\
-         |fault_seed={}|link_gap={}",
+         |fault_seed={}|link_gap={}|svc_load={}|svc_clients={}|svc_shards={}|svc_admission={}",
         ctx.figure,
         crate::backend::Backend::from_env().name(),
         ctx.p,
@@ -197,6 +197,10 @@ pub(crate) fn fingerprint(total: usize) -> String {
         banks.map(|b| b.service_per_byte).unwrap_or(0.0),
         knob("QSM_FAULT_SEED"),
         knob("QSM_LINK_GAP"),
+        knob("QSM_SERVICE_LOAD"),
+        knob("QSM_SERVICE_CLIENTS"),
+        knob("QSM_SERVICE_SHARDS"),
+        knob("QSM_SERVICE_ADMISSION"),
     );
     format!("{:016x}", fnv1a(&key))
 }

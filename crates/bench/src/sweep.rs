@@ -417,7 +417,7 @@ mod tests {
         assert_eq!(results.len(), 8);
         for (i, r) in results.iter().enumerate() {
             if i % 3 == 1 {
-                let p = r.as_ref().err().expect("point should have failed");
+                let p = r.as_ref().expect_err("point should have failed");
                 assert_eq!(p.index, i);
                 assert_eq!(p.message, format!("boom at {i}"));
             } else {

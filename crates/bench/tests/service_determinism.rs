@@ -1,0 +1,75 @@
+//! The open-loop serving extension must be exactly replayable:
+//! `ext_service`'s CSV must be byte-identical whatever `QSM_JOBS` is
+//! set to, and repeat runs must replay the same simulated cycle
+//! counts — arrival draws, hash shards, bank slots, and the latency
+//! histogram included. The metrics registry rides along: the service
+//! counters and the latency histogram merge commutatively, so the
+//! JSON dump must not depend on worker count or completion order.
+//!
+//! This file contains exactly one `#[test]` on purpose: it mutates
+//! the process-wide `QSM_JOBS` variable and installs the
+//! process-global metrics recorder, and a sibling test running
+//! concurrently in the same binary could observe either.
+
+use qsm_bench::figures::ext_service;
+use qsm_bench::RunCfg;
+use qsm_core::obs::{self, ObsLevel, Recorder};
+
+#[test]
+fn ext_service_is_byte_identical_across_job_counts_and_runs() {
+    let cfg = RunCfg::fast();
+
+    // The figure reads the QSM_SERVICE_* knobs and QSM_BANKS; pin all
+    // of them to their defaults so an ambient setting can't change
+    // what "identical" means here.
+    for knob in [
+        "QSM_SERVICE_LOAD",
+        "QSM_SERVICE_CLIENTS",
+        "QSM_SERVICE_SHARDS",
+        "QSM_SERVICE_ADMISSION",
+        "QSM_BANKS",
+    ] {
+        std::env::remove_var(knob);
+    }
+
+    assert!(obs::install(Recorder::new(ObsLevel::Metrics, 400e6)));
+    let rec = obs::recorder();
+    let drain = || rec.take_metrics_json().expect("recorder is installed");
+
+    std::env::set_var("QSM_JOBS", "1");
+    let serial = ext_service::run(&cfg);
+    let serial_metrics = drain();
+
+    std::env::set_var("QSM_JOBS", "4");
+    let parallel = ext_service::run(&cfg);
+    let parallel_metrics = drain();
+    let parallel_again = ext_service::run(&cfg);
+    let parallel_again_metrics = drain();
+    std::env::remove_var("QSM_JOBS");
+
+    assert_eq!(
+        serial.csv, parallel.csv,
+        "QSM_JOBS=4 must produce the byte-identical CSV of a serial run"
+    );
+    assert_eq!(serial.text, parallel.text);
+    assert_eq!(
+        parallel.csv, parallel_again.csv,
+        "repeat parallel runs must replay arrivals and service slots exactly"
+    );
+
+    // The engine actually fed the registry, and its histogram and
+    // counters are as order-blind as the rest of it.
+    assert!(
+        serial_metrics.contains("\"service_latency_cycles"),
+        "latency histogram missing from the metrics dump:\n{serial_metrics}"
+    );
+    assert!(serial_metrics.contains("\"service_completed\""));
+    assert_eq!(
+        serial_metrics, parallel_metrics,
+        "metrics JSON must be byte-identical across QSM_JOBS"
+    );
+    assert_eq!(
+        parallel_metrics, parallel_again_metrics,
+        "repeat runs must replay the metrics registry exactly"
+    );
+}

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn random_covers_all_banks() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..1000 {
             seen[Pattern::Random.target_bank(0, 8, &mut rng)] = true;
         }

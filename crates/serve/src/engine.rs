@@ -1,0 +1,386 @@
+//! The open-loop transaction engine.
+//!
+//! Where every earlier experiment drives the network from a *phase
+//! plan* (transmit a batch, barrier, repeat), this engine drives the
+//! same staged delivery pipeline from a seeded **event timeline**: an
+//! [`EventQueue`] pops arrivals, sends, and retries in global time
+//! order, and each message is injected the moment it is ready. The
+//! network's per-node FIFO timelines persist across events, so
+//! back-to-back transactions queue at NICs and banks exactly as a
+//! batch would — the pipeline arithmetic is shared, not re-derived.
+//!
+//! A transaction's life:
+//!
+//! ```text
+//! get:  arrive ── marshal ──> request (headers) ──wire──> shard node
+//!         └ admission check       │ drop? retry w/ backoff
+//!                                 v
+//!                         visible + get_serve ──> bank reads value
+//!                                 │                (bank_service)
+//!                                 v
+//!               reply (headers + value) ──wire──> origin
+//!                                 │ drop? retry
+//!                                 v
+//!                         visible + get_apply  =  COMPLETE
+//!
+//! put:  arrive ── marshal ──> request (headers + value, bank-tagged)
+//!                                 │   the pipeline prices the bank
+//!                                 v   write during ingestion
+//!                         visible + put_apply ──> ack (headers)
+//!                                 │ drop? retry
+//!                                 v
+//!                         ack visible           =  COMPLETE
+//! ```
+//!
+//! Losses use the machine's [`FaultConfig`] through the same keyed
+//! path as the closed-loop retry protocol: leg `l` of transaction `i`
+//! draws fault key [`FaultConfig::retry_key`]`(2i + l, attempt)`, so
+//! the drop schedule is independent of event interleaving and of how
+//! many retries any other transaction needed.
+
+use qsm_obs::{Histogram, Recorder};
+use qsm_simnet::event::EventQueue;
+use qsm_simnet::time::Cycles;
+use qsm_simnet::{Delivery, FaultConfig, Injection, MsgKind, Network};
+
+use crate::arrival::{self, Txn};
+use crate::config::ServiceConfig;
+
+/// Which wire leg of a transaction an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    /// Origin → shard node (get request, or put data).
+    Request,
+    /// Shard node → origin (get reply, or put ack).
+    Reply,
+}
+
+/// One pending engine event.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Transaction `i` arrives at its origin (admission happens here).
+    Arrive(u64),
+    /// A leg of transaction `i` is marshalled and ready for its NIC.
+    Send { i: u64, leg: Leg, attempt: u32 },
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    /// Transactions offered (arrivals generated).
+    pub offered: u64,
+    /// Transactions past admission control.
+    pub admitted: u64,
+    /// Transactions that completed (reply visible at the origin).
+    pub completed: u64,
+    /// Transactions rejected at arrival by admission control.
+    pub rejected: u64,
+    /// Individual wire transmissions lost to fault injection.
+    pub drops: u64,
+    /// Resends scheduled (every drop below the attempt cap).
+    pub retries: u64,
+    /// Transactions abandoned after `max_attempts` on one leg.
+    pub timed_out: u64,
+    /// Run length: the arrival window or the last completion,
+    /// whichever is later (open-loop runs drain their queues).
+    pub elapsed: Cycles,
+    /// Per-transaction completion latency (arrival → reply visible),
+    /// in cycles.
+    pub latency: Histogram,
+    /// Per-node NIC egress utilization over `elapsed`.
+    pub send_util: Vec<f64>,
+    /// Per-node NIC ingress utilization over `elapsed`.
+    pub recv_util: Vec<f64>,
+    /// Per-node memory-bank utilization over `elapsed` (averaged
+    /// across the node's banks; all zero without a bank model).
+    pub bank_util: Vec<f64>,
+}
+
+impl ServiceOutcome {
+    /// Completed transactions per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed == Cycles::ZERO {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.get()
+    }
+
+    /// Latency percentile in cycles (`q` in `[0, 1]`).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        self.latency.percentile(q)
+    }
+
+    /// Mean of a per-node utilization vector.
+    pub fn mean_util(v: &[f64]) -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Wire bytes of each leg under `cfg` (request, reply), per op kind.
+fn leg_bytes(cfg: &ServiceConfig, t: &Txn) -> (u64, u64) {
+    let sw = &cfg.machine.sw;
+    let hdr = sw.msg_header_bytes + sw.item_header_bytes;
+    if t.is_get {
+        // Header-only request; the value rides the reply.
+        (hdr, hdr + cfg.value_bytes)
+    } else {
+        // The value rides the request; header-only ack.
+        (hdr + cfg.value_bytes, sw.msg_header_bytes)
+    }
+}
+
+/// Run the open-loop scenario to completion (every admitted
+/// transaction completes or times out) and report what happened.
+/// Deterministic: the outcome is a pure function of `cfg`.
+///
+/// `obs` receives the `service_latency_cycles` histogram plus
+/// `service_*` counters; pass [`Recorder::disabled`] to opt out.
+pub fn run(cfg: &ServiceConfig, obs: &Recorder) -> ServiceOutcome {
+    cfg.validate();
+    let p = cfg.machine.p;
+    let sw = cfg.machine.sw;
+    let faults: Option<FaultConfig> = cfg.machine.net.faults;
+    let mut net = Network::new(p, cfg.machine.net);
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for i in 0..cfg.offered as u64 {
+        q.push(arrival::txn(cfg, i).arrival, Ev::Arrive(i));
+    }
+
+    let mut out = ServiceOutcome {
+        offered: cfg.offered as u64,
+        admitted: 0,
+        completed: 0,
+        rejected: 0,
+        drops: 0,
+        retries: 0,
+        timed_out: 0,
+        elapsed: Cycles::new(cfg.window),
+        latency: Histogram::default(),
+        send_util: vec![0.0; p],
+        recv_util: vec![0.0; p],
+        bank_util: vec![0.0; p],
+    };
+    let mut last_completion = Cycles::ZERO;
+    let mut deliveries: Vec<Delivery> = Vec::with_capacity(1);
+
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::Arrive(i) => {
+                let t = arrival::txn(cfg, i);
+                if let Some(limit) = cfg.admission_backlog {
+                    // Reject when the queues this transaction would
+                    // join are already deeper than the limit: its
+                    // origin NIC, or its shard's bank.
+                    let nic = net.send_backlog(t.origin, now).get();
+                    let bank = net.bank_backlog(t.node, t.bank, now).get();
+                    if nic > limit || bank > limit {
+                        out.rejected += 1;
+                        continue;
+                    }
+                }
+                out.admitted += 1;
+                let marshal = if t.is_get { sw.get_request } else { sw.put_marshal };
+                q.push(now + Cycles::new(marshal), Ev::Send { i, leg: Leg::Request, attempt: 1 });
+            }
+            Ev::Send { i, leg, attempt } => {
+                let t = arrival::txn(cfg, i);
+                let (req_bytes, rep_bytes) = leg_bytes(cfg, &t);
+                let msg = match (leg, t.is_get) {
+                    (Leg::Request, true) => {
+                        Injection::new(t.origin, t.node, req_bytes, now, MsgKind::GetRequest)
+                    }
+                    // A put's value is written into its bank during
+                    // ingestion — the pipeline's bank stage prices it.
+                    (Leg::Request, false) => {
+                        Injection::new(t.origin, t.node, req_bytes, now, MsgKind::PutData)
+                            .with_bank(t.bank)
+                    }
+                    (Leg::Reply, true) => {
+                        Injection::new(t.node, t.origin, rep_bytes, now, MsgKind::GetReply)
+                    }
+                    (Leg::Reply, false) => {
+                        Injection::new(t.node, t.origin, rep_bytes, now, MsgKind::Other)
+                    }
+                };
+                let leg_ix = 2 * i + (leg == Leg::Reply) as u64;
+                let key = FaultConfig::retry_key(leg_ix, attempt);
+                net.transmit_into_faulty_keyed(&[msg], &mut deliveries, &[key]);
+                let d = deliveries[0];
+                if net.last_dropped()[0] {
+                    out.drops += 1;
+                    // The fault config exists, else nothing drops.
+                    let f = faults.expect("drops require a fault config");
+                    if attempt >= f.max_attempts {
+                        out.timed_out += 1;
+                    } else {
+                        out.retries += 1;
+                        let backoff = f.retry_timeout * 2f64.powi((attempt - 1).min(60) as i32);
+                        q.push(
+                            d.depart + Cycles::new(backoff),
+                            Ev::Send { i, leg, attempt: attempt + 1 },
+                        );
+                    }
+                    continue;
+                }
+                match (leg, t.is_get) {
+                    (Leg::Request, true) => {
+                        // Shard node looks the item up, then its bank
+                        // streams the value out.
+                        let served = d.visible + Cycles::new(sw.get_serve);
+                        let read = net.bank_service(t.node, t.bank, served, cfg.value_bytes);
+                        q.push(read.done, Ev::Send { i, leg: Leg::Reply, attempt: 1 });
+                    }
+                    (Leg::Request, false) => {
+                        let applied = d.visible + Cycles::new(sw.put_apply);
+                        q.push(applied, Ev::Send { i, leg: Leg::Reply, attempt: 1 });
+                    }
+                    (Leg::Reply, is_get) => {
+                        let done =
+                            if is_get { d.visible + Cycles::new(sw.get_apply) } else { d.visible };
+                        out.completed += 1;
+                        last_completion = last_completion.max(done);
+                        let lat = (done - t.arrival).get() as u64;
+                        out.latency.observe(lat);
+                        obs.observe("service_latency_cycles", lat);
+                    }
+                }
+            }
+        }
+    }
+
+    out.elapsed = Cycles::new(cfg.window).max(last_completion);
+    let elapsed = out.elapsed.get();
+    let banks = cfg.machine.net.banks.map_or(1, |b| b.banks_per_node) as f64;
+    for node in 0..p {
+        out.send_util[node] = net.send_busy_total(node).get() / elapsed;
+        out.recv_util[node] = net.recv_busy_total(node).get() / elapsed;
+        out.bank_util[node] = net.bank_busy_total(node).get() / (elapsed * banks);
+    }
+
+    obs.add("service_offered", out.offered);
+    obs.add("service_admitted", out.admitted);
+    obs.add("service_completed", out.completed);
+    obs.add("service_rejected", out.rejected);
+    obs.add("service_drops", out.drops);
+    obs.add("service_retries", out.retries);
+    obs.add("service_timeouts", out.timed_out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsm_simnet::{BankModel, MachineConfig};
+
+    fn machine(p: usize) -> MachineConfig {
+        let mut m = MachineConfig::paper_default(p);
+        m.net.banks =
+            Some(BankModel { banks_per_node: 4, service_fixed: 0.0, service_per_byte: 12.0 });
+        m
+    }
+
+    fn run_quiet(cfg: &ServiceConfig) -> ServiceOutcome {
+        run(cfg, &Recorder::disabled())
+    }
+
+    #[test]
+    fn zero_offered_is_an_empty_run() {
+        let out = run_quiet(&ServiceConfig::new(machine(4)));
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.latency.count, 0);
+        assert_eq!(out.elapsed, Cycles::new((1u64 << 21) as f64));
+        assert!(out.send_util.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn light_load_completes_everything_deterministically() {
+        let cfg = ServiceConfig::new(machine(4)).with_offered(200);
+        let a = run_quiet(&cfg);
+        let b = run_quiet(&cfg);
+        assert_eq!(a, b, "the outcome must be a pure function of the config");
+        assert_eq!(a.completed, 200);
+        assert_eq!(a.admitted, 200);
+        assert_eq!(a.rejected, 0);
+        assert_eq!(a.latency.count, 200);
+        // An uncontended get costs at least two one-way wire trips.
+        assert!(a.latency.min as f64 >= 2.0 * cfg.machine.net.latency);
+        assert!(a.send_util.iter().all(|&u| (0.0..1.0).contains(&u)));
+        assert!(a.bank_util.iter().any(|&u| u > 0.0), "banks must see work");
+    }
+
+    #[test]
+    fn p99_latency_is_monotone_in_offered_load() {
+        let base = ServiceConfig::new(machine(4)).with_window(200_000.0);
+        let mut last = 0.0;
+        for offered in [100usize, 400, 1600] {
+            let out = run_quiet(&base.clone().with_offered(offered));
+            let p99 = out.latency_percentile(0.99);
+            assert!(p99 >= last, "p99 fell from {last} to {p99} when load rose to {offered}");
+            last = p99;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn overload_saturates_a_resource_and_throughput_plateaus() {
+        let base = ServiceConfig::new(machine(2)).with_window(100_000.0);
+        let sat = run_quiet(&base.clone().with_offered(4_000));
+        let more = run_quiet(&base.clone().with_offered(8_000));
+        // Elapsed stretches past the window: the queue drains after
+        // arrivals stop.
+        assert!(sat.elapsed.get() > 100_000.0);
+        let peak = |o: &ServiceOutcome| {
+            o.send_util
+                .iter()
+                .chain(&o.recv_util)
+                .chain(&o.bank_util)
+                .fold(0.0f64, |a, &b| a.max(b))
+        };
+        assert!(peak(&sat) > 0.9, "some engine must saturate: {}", peak(&sat));
+        // Open loop at 2x the load: throughput (per cycle) cannot rise
+        // materially — the bottleneck is already pinned.
+        assert!(more.throughput() < sat.throughput() * 1.05);
+    }
+
+    #[test]
+    fn admission_control_rejects_under_pressure_and_caps_latency() {
+        let base = ServiceConfig::new(machine(2)).with_window(100_000.0).with_offered(6_000);
+        let open = run_quiet(&base);
+        let gated = run_quiet(&base.clone().with_admission(20_000.0));
+        assert_eq!(gated.rejected + gated.admitted, gated.offered);
+        assert!(gated.rejected > 0, "overload must trip admission control");
+        assert!(
+            gated.latency_percentile(0.99) < open.latency_percentile(0.99),
+            "shedding load must cut tail latency"
+        );
+    }
+
+    #[test]
+    fn faults_retry_until_delivered_and_are_deterministic() {
+        let mut m = machine(4);
+        m.net.faults = Some(FaultConfig::drops(17, 0.2));
+        let cfg = ServiceConfig::new(m).with_offered(300);
+        let a = run_quiet(&cfg);
+        let b = run_quiet(&cfg);
+        assert_eq!(a, b);
+        assert!(a.drops > 0, "a 20% drop rate must lose messages");
+        assert_eq!(a.retries, a.drops - a.timed_out);
+        assert_eq!(a.completed + a.timed_out, a.admitted);
+        assert_eq!(a.timed_out, 0, "64 attempts at p=0.2 never all fail");
+    }
+
+    #[test]
+    fn recorder_sees_the_latency_histogram_and_counters() {
+        let obs = Recorder::new(qsm_obs::ObsLevel::Metrics, 400e6);
+        let cfg = ServiceConfig::new(machine(2)).with_offered(50);
+        let out = run(&cfg, &obs);
+        let json = obs.take_metrics_json().expect("metrics enabled");
+        assert!(json.contains("service_latency_cycles"));
+        assert!(json.contains("\"service_completed\": 50"));
+        assert_eq!(out.completed, 50);
+    }
+}

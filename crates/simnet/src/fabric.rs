@@ -24,6 +24,7 @@ use crate::message::Injection;
 use crate::network::Delivery;
 use crate::stats::NetStats;
 use crate::time::Cycles;
+use crate::timeline::FifoTimeline;
 use crate::topology::Topology;
 
 /// Per-link forwarding state for one [`crate::Network`].
@@ -32,8 +33,8 @@ pub(crate) struct Fabric {
     router: Box<dyn Topology>,
     /// Service cost per wire byte on every link, cycles.
     link_gap: f64,
-    /// When each directed link is next idle.
-    link_free: Vec<Cycles>,
+    /// Per-directed-link FIFO service timelines.
+    link_free: FifoTimeline,
     /// Scratch: forwarding order of the current batch.
     order: Vec<usize>,
     /// Scratch: per-link message demand within the current batch
@@ -59,7 +60,7 @@ impl Fabric {
         Some(Self {
             router,
             link_gap,
-            link_free: vec![Cycles::ZERO; links],
+            link_free: FifoTimeline::new(links),
             order: Vec::new(),
             demand: vec![0; links],
         })
@@ -77,7 +78,7 @@ impl Fabric {
 
     /// Reset every link timeline to idle-at-zero.
     pub(crate) fn reset(&mut self) {
-        self.link_free.fill(Cycles::ZERO);
+        self.link_free.reset();
     }
 
     /// Forward one transmitted batch through the link pipeline,
@@ -109,10 +110,9 @@ impl Fabric {
             let mut at = deliveries[i].depart;
             let mut wait = Cycles::ZERO;
             for &l in self.router.route(m.src, m.dst) {
-                let start = at.max(self.link_free[l]);
-                wait += start - at;
-                self.link_free[l] = start + occupy;
-                at = self.link_free[l] + hop_latency;
+                let slot = self.link_free.serve(l, at, occupy);
+                wait += slot.start - at;
+                at = slot.done + hop_latency;
                 stats.link_msgs[l] += 1;
                 stats.link_bytes[l] += m.bytes;
                 stats.link_busy[l] += occupy;

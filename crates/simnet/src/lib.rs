@@ -22,6 +22,11 @@
 //!   per-round software cost rather than being configured directly.
 //! * [`event::EventQueue`] — a deterministic priority queue reused by
 //!   other simulators in the workspace (e.g. `qsm-membank`).
+//! * [`timeline::FifoTimeline`] — the FIFO service-timeline primitive
+//!   every stage above is expressed on, with the busy/backlog
+//!   accounting that lets an *open-loop* caller (the `qsm-serve`
+//!   transaction engine) drive the same delivery pipeline from a
+//!   seeded arrival stream instead of a phase plan.
 //!
 //! The network model, per message of `b` bytes from `s` to `d`:
 //!
@@ -64,6 +69,7 @@ pub mod message;
 pub mod network;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 
@@ -76,5 +82,6 @@ pub use message::{Injection, MsgKind};
 pub use network::{Delivery, Network};
 pub use stats::NetStats;
 pub use time::Cycles;
+pub use timeline::{FifoTimeline, ServiceSlot};
 pub use topology::{LinkId, Topology, TopologyKind};
 pub use trace::{Keep, Trace, TraceEvent};

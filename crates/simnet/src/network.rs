@@ -26,6 +26,7 @@ use crate::fault::FaultConfig;
 use crate::message::Injection;
 use crate::stats::NetStats;
 use crate::time::Cycles;
+use crate::timeline::{FifoTimeline, ServiceSlot};
 use crate::topology::Topology;
 use crate::trace::{Keep, Trace, TraceEvent};
 
@@ -59,8 +60,11 @@ pub struct Delivery {
 pub struct Network {
     cfg: NetConfig,
     p: usize,
-    send_free: Vec<Cycles>,
-    recv_free: Vec<Cycles>,
+    /// Per-node send-engine timelines ([`FifoTimeline`], one server
+    /// per node).
+    send_free: FifoTimeline,
+    /// Per-node receive-engine timelines.
+    recv_free: FifoTimeline,
     /// The routing stage: per-link FIFO forwarding state. `None` on
     /// the paper's flat wire — the pipeline then skips the stage, so
     /// the default arithmetic is exactly the original simulator's.
@@ -68,7 +72,7 @@ pub struct Network {
     /// Per-(node, bank) service timelines of the opt-in bank stage,
     /// `p × banks_per_node` dense; empty when no bank model is
     /// configured.
-    bank_free: Vec<Cycles>,
+    bank_free: FifoTimeline,
     stats: NetStats,
     trace: Option<Trace>,
     // Pooled per-transmit scratch (index queues), reused so the hot
@@ -91,10 +95,10 @@ impl Network {
         let bank_slots = cfg.banks.map_or(0, |b| p * b.banks_per_node);
         Self {
             p,
-            send_free: vec![Cycles::ZERO; p],
-            recv_free: vec![Cycles::ZERO; p],
+            send_free: FifoTimeline::new(p),
+            recv_free: FifoTimeline::new(p),
             fabric: Fabric::from_config(p, &cfg),
-            bank_free: vec![Cycles::ZERO; bank_slots],
+            bank_free: FifoTimeline::new(bank_slots),
             stats: NetStats::default(),
             trace: None,
             by_sender: vec![Vec::new(); p],
@@ -120,12 +124,12 @@ impl Network {
     /// faulted runs replay exactly and nothing stale leaks into the
     /// next run).
     pub fn reset(&mut self) {
-        self.send_free.fill(Cycles::ZERO);
-        self.recv_free.fill(Cycles::ZERO);
+        self.send_free.reset();
+        self.recv_free.reset();
         if let Some(f) = self.fabric.as_mut() {
             f.reset();
         }
-        self.bank_free.fill(Cycles::ZERO);
+        self.bank_free.reset();
         self.stats.clear();
         self.fault_seq = 0;
         self.dropped.clear();
@@ -134,23 +138,91 @@ impl Network {
     /// Declare that `node` is busy (e.g. computing) until `t`; its
     /// engines will not start any work earlier.
     pub fn node_busy_until(&mut self, node: usize, t: Cycles) {
-        self.send_free[node] = self.send_free[node].max(t);
-        self.recv_free[node] = self.recv_free[node].max(t);
+        self.send_free.advance(node, t);
+        self.recv_free.advance(node, t);
     }
 
     /// Earliest time every engine in the network is idle.
     pub fn quiesce_time(&self) -> Cycles {
-        self.send_free.iter().chain(self.recv_free.iter()).copied().fold(Cycles::ZERO, Cycles::max)
+        self.send_free.quiesce().max(self.recv_free.quiesce())
     }
 
     /// When `node`'s send engine is next free.
     pub fn send_free_at(&self, node: usize) -> Cycles {
-        self.send_free[node]
+        self.send_free.free_at(node)
     }
 
     /// When `node`'s receive engine is next free.
     pub fn recv_free_at(&self, node: usize) -> Cycles {
-        self.recv_free[node]
+        self.recv_free.free_at(node)
+    }
+
+    /// Cycles `node`'s send engine has spent serving (overhead +
+    /// serialization) since the last reset — the numerator of its
+    /// NIC-egress utilization over any elapsed window.
+    pub fn send_busy_total(&self, node: usize) -> Cycles {
+        self.send_free.busy_total(node)
+    }
+
+    /// Cycles `node`'s receive engine has spent serving since the
+    /// last reset.
+    pub fn recv_busy_total(&self, node: usize) -> Cycles {
+        self.recv_free.busy_total(node)
+    }
+
+    /// Cycles `node`'s memory banks (all of them together) have spent
+    /// serving since the last reset. Zero without a bank model.
+    pub fn bank_busy_total(&self, node: usize) -> Cycles {
+        let Some(bk) = &self.cfg.banks else { return Cycles::ZERO };
+        let base = node * bk.banks_per_node;
+        let mut total = Cycles::ZERO;
+        for b in 0..bk.banks_per_node {
+            total += self.bank_free.busy_total(base + b);
+        }
+        total
+    }
+
+    /// How far `node`'s send engine's committed work extends past
+    /// `now` (zero when it is already idle) — the NIC queue-depth
+    /// signal an open-loop caller's admission control reads.
+    pub fn send_backlog(&self, node: usize, now: Cycles) -> Cycles {
+        self.send_free.backlog(node, now)
+    }
+
+    /// How far bank `bank` of `node`'s committed work extends past
+    /// `now`. Zero without a bank model.
+    pub fn bank_backlog(&self, node: usize, bank: u32, now: Cycles) -> Cycles {
+        let Some(bk) = &self.cfg.banks else { return Cycles::ZERO };
+        assert!((bank as usize) < bk.banks_per_node);
+        self.bank_free.backlog(node * bk.banks_per_node + bank as usize, now)
+    }
+
+    /// Serve a `bytes`-byte access against bank `bank` of `node`
+    /// directly — no wire message — starting no earlier than `ready`.
+    /// This is the open-loop entry point for destination-side work
+    /// whose bytes never cross the network (e.g. a get transaction's
+    /// value read at its shard: the request carries only headers, but
+    /// the bank must stream the value). FIFO-queues behind all other
+    /// traffic to the same bank, exactly like a bank-tagged delivery.
+    /// Without a bank model the access is free: `start = done =
+    /// ready`.
+    pub fn bank_service(
+        &mut self,
+        node: usize,
+        bank: u32,
+        ready: Cycles,
+        bytes: u64,
+    ) -> ServiceSlot {
+        let Some(bk) = &self.cfg.banks else {
+            return ServiceSlot { start: ready, done: ready };
+        };
+        assert!(
+            (bank as usize) < bk.banks_per_node,
+            "bad bank {bank} (banks per node = {})",
+            bk.banks_per_node
+        );
+        let slot = node * bk.banks_per_node + bank as usize;
+        self.bank_free.serve(slot, ready, bk.service(bytes))
     }
 
     /// Accumulated statistics.
@@ -334,32 +406,33 @@ impl Network {
             }
             self.by_sender[m.src].push(i);
         }
+        let send_free = &mut self.send_free;
         for (src, queue) in self.by_sender.iter_mut().enumerate() {
             queue.sort_by(|&a, &b| msgs[a].ready.cmp(&msgs[b].ready).then_with(|| a.cmp(&b)));
-            let mut free = self.send_free[src];
             for &i in queue.iter() {
                 let m = &msgs[i];
                 // Faulted sends may start late (stall burst) and pay a
                 // degraded gap/latency; the fault-free arm is the exact
                 // original arithmetic, so zero-fault runs are
                 // byte-identical.
-                let (start, busy, lat) = match faults {
+                let (slot, lat) = match faults {
                     Some(f) => {
-                        let start = f.stall_release(src, m.ready.max(free));
+                        let start = f.stall_release(src, m.ready.max(send_free.free_at(src)));
                         let (lat_f, gap_f) = f.degrade_factors(start);
                         let busy = Cycles::new(
                             self.cfg.send_overhead + self.cfg.gap_per_byte * gap_f * m.bytes as f64,
                         );
-                        (start, busy, Cycles::new(self.cfg.latency * lat_f))
+                        (
+                            send_free.serve_from(src, start, busy),
+                            Cycles::new(self.cfg.latency * lat_f),
+                        )
                     }
-                    None => (m.ready.max(free), self.cfg.send_busy(m.bytes), latency),
+                    None => (send_free.serve(src, m.ready, self.cfg.send_busy(m.bytes)), latency),
                 };
-                let depart = start + busy;
-                free = depart;
+                let depart = slot.done;
                 deliveries[i].depart = depart;
                 deliveries[i].arrive = if m.src == m.dst { depart } else { depart + lat };
             }
-            self.send_free[src] = free;
         }
     }
 
@@ -379,6 +452,8 @@ impl Network {
             }
             self.by_receiver[m.dst].push(i);
         }
+        let recv_free = &mut self.recv_free;
+        let bank_free = &mut self.bank_free;
         for (dst, queue) in self.by_receiver.iter_mut().enumerate() {
             queue.sort_by(|&a, &b| {
                 deliveries[a]
@@ -387,25 +462,24 @@ impl Network {
                     .then_with(|| msgs[a].src.cmp(&msgs[b].src))
                     .then_with(|| a.cmp(&b))
             });
-            let mut free = self.recv_free[dst];
             for &i in queue.iter() {
                 let m = &msgs[i];
                 let busy = self.cfg.recv_busy(m.bytes);
-                let start = deliveries[i].arrive.max(free);
-                let mut visible = start + busy;
-                free = visible;
+                let mut visible = recv_free.serve(dst, deliveries[i].arrive, busy).done;
                 // Opt-in bank stage: after the receive engine hands
                 // the message off, it queues FIFO at its destination
                 // bank. The engine itself is released at ingestion
-                // (`free` above), so banks drain independently of the
-                // NIC — only same-bank traffic serializes here.
+                // (its timeline advanced above), so banks drain
+                // independently of the NIC — only same-bank traffic
+                // serializes here.
                 if let (Some(bk), Some(b)) = (&self.cfg.banks, m.bank) {
-                    let slot = &mut self.bank_free[dst * bk.banks_per_node + b as usize];
-                    let svc_start = visible.max(*slot);
-                    let done = svc_start + bk.service(m.bytes);
-                    *slot = done;
-                    deliveries[i].bank_wait = svc_start - visible;
-                    visible = done;
+                    let svc = bank_free.serve(
+                        dst * bk.banks_per_node + b as usize,
+                        visible,
+                        bk.service(m.bytes),
+                    );
+                    deliveries[i].bank_wait = svc.start - visible;
+                    visible = svc.done;
                 }
                 deliveries[i].visible = visible;
                 self.stats.record(m.kind, m.bytes, self.cfg.send_busy(m.bytes), busy);
@@ -421,7 +495,6 @@ impl Network {
                     });
                 }
             }
-            self.recv_free[dst] = free;
         }
     }
 }
